@@ -1,0 +1,29 @@
+"""Ablation — TLB-consistency cost vs node count (paper §1 motivation).
+
+The paper motivates moving translation to the home node partly through
+the TLB consistency problem: per-node TLBs must be shot down on every
+mapping/protection change, and the cost grows with the machine.  V-COMA
+changes one home-side entry.  This bench sweeps the node count and
+prints both costs.
+"""
+
+from bench_common import report
+from repro.analysis.ablation import shootdown_scaling
+
+NODE_COUNTS = (2, 4, 8, 16, 32)
+
+
+def test_ablation_shootdown_scaling(benchmark):
+    rows = benchmark.pedantic(shootdown_scaling, args=(NODE_COUNTS,), rounds=1, iterations=1)
+    report()
+    report("Mapping-change cost (cycles) vs node count")
+    report(f"{'nodes':>6s} {'per-node TLBs':>15s} {'V-COMA':>10s}")
+    for nodes, tlb_cost, vcoma_cost in rows:
+        report(f"{nodes:>6d} {tlb_cost:>15,} {vcoma_cost:>10,}")
+
+    tlb_costs = [t for _, t, _ in rows]
+    vcoma_costs = [v for _, _, v in rows]
+    assert tlb_costs == sorted(tlb_costs) and tlb_costs[-1] > tlb_costs[0]
+    assert len(set(vcoma_costs)) == 1
+    # At 32 nodes (the paper's machine) the gap is an order of magnitude.
+    assert tlb_costs[-1] > 10 * vcoma_costs[-1]

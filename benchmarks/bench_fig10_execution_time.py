@@ -1,0 +1,72 @@
+"""Figure 10 — execution-time breakdown.
+
+For every benchmark: TLB/8 (physical COMA baseline), TLB/8/DM, DLB/8
+(V-COMA), DLB/8/DM bars split into busy / local stall / remote stall /
+translation / sync, normalized to the TLB/8 baseline; for RAYTRACE the
+extra DLB/8/V2 bar with the page-aligned padding (the paper's virtual-
+layout optimization).
+"""
+
+import pytest
+
+from bench_common import report, BENCHMARKS, BENCH_PARAMS, TIMING_REFS, bench_workload
+from repro import Organization, Scheme
+from repro.analysis import render_breakdown_bars, run_timing
+from repro.workloads import RaytraceWorkload
+
+CONFIGS = (
+    ("TLB/8", Scheme.L0_TLB, Organization.FULLY_ASSOCIATIVE),
+    ("TLB/8/DM", Scheme.L0_TLB, Organization.DIRECT_MAPPED),
+    ("DLB/8", Scheme.V_COMA, Organization.FULLY_ASSOCIATIVE),
+    ("DLB/8/DM", Scheme.V_COMA, Organization.DIRECT_MAPPED),
+)
+
+
+def run_bars(name):
+    # RAYTRACE's padding pathology is bandwidth-borne (injection
+    # storms), so its bars run with port contention enabled; the other
+    # benchmarks use the paper's latency-only model.
+    contention = name == "raytrace"
+    bars = {}
+    for label, scheme, org in CONFIGS:
+        result = run_timing(
+            BENCH_PARAMS,
+            scheme,
+            bench_workload(name),
+            8,
+            organization=org,
+            max_refs_per_node=TIMING_REFS,
+            contention=contention,
+        )
+        bars[label] = result.average_breakdown()
+    if name == "raytrace":
+        from bench_common import INTENSITY
+
+        result = run_timing(
+            BENCH_PARAMS,
+            Scheme.V_COMA,
+            RaytraceWorkload.v2(intensity=INTENSITY["raytrace"]),
+            8,
+            max_refs_per_node=TIMING_REFS,
+            contention=True,
+        )
+        bars["DLB/8/V2"] = result.average_breakdown()
+    return bars
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_fig10_breakdown(benchmark, name):
+    bars = benchmark.pedantic(run_bars, args=(name,), rounds=1, iterations=1)
+    report()
+    report(render_breakdown_bars(name, bars, baseline_label="TLB/8"))
+
+    # Translation stall is negligible in V-COMA and visible in L0-TLB.
+    assert bars["DLB/8"].tlb_stall < bars["TLB/8"].tlb_stall
+    # The DM gap is much smaller for the DLB than for the L0 TLB.
+    tlb_dm_extra = bars["TLB/8/DM"].tlb_stall - bars["TLB/8"].tlb_stall
+    dlb_dm_extra = bars["DLB/8/DM"].tlb_stall - bars["DLB/8"].tlb_stall
+    assert dlb_dm_extra <= max(tlb_dm_extra, 0) + 0.1 * bars["TLB/8"].total
+
+    if name == "raytrace":
+        # The paper's virtual-layout fix: V2 beats the pathological V1.
+        assert bars["DLB/8/V2"].total < bars["DLB/8"].total

@@ -1,0 +1,46 @@
+"""Figure 11 — memory-pressure profile across global page sets.
+
+The profile is fixed by the preloaded page placement, so this bench
+builds machines (no reference simulation) and renders pressure per
+global page set for every benchmark, checking the paper's observation:
+"without even trying we observe a very uniform pressure on every global
+set" — except for RAYTRACE's pathological padding, which the V2 layout
+fixes.
+"""
+
+import pytest
+
+from bench_common import report, BENCHMARKS, BENCH_PARAMS, bench_workload
+from repro.analysis import pressure_profile, render_pressure_profile
+from repro.workloads import RaytraceWorkload
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_fig11_pressure_profile(benchmark, name):
+    profile = benchmark.pedantic(
+        pressure_profile, args=(BENCH_PARAMS, bench_workload(name)), rounds=1, iterations=1
+    )
+    report()
+    report(render_pressure_profile(name, profile))
+    mean = sum(profile) / len(profile)
+    assert mean > 0
+    if name != "raytrace":
+        # Near-uniform without any placement effort (paper Figure 11).
+        assert max(profile) <= mean * 1.7
+        assert min(profile) >= mean * 0.3
+
+
+def test_fig11_raytrace_v1_vs_v2(benchmark):
+    def profiles():
+        return (
+            pressure_profile(BENCH_PARAMS, RaytraceWorkload()),
+            pressure_profile(BENCH_PARAMS, RaytraceWorkload.v2()),
+        )
+
+    v1, v2 = benchmark.pedantic(profiles, rounds=1, iterations=1)
+    report()
+    report(render_pressure_profile("raytrace V1 (way-aligned padding)", v1))
+    report(render_pressure_profile("raytrace V2 (page-aligned padding)", v2))
+    imbalance = lambda prof: max(prof) / (sum(prof) / len(prof))
+    report(f"imbalance: V1 {imbalance(v1):.2f}  V2 {imbalance(v2):.2f}")
+    assert imbalance(v1) > imbalance(v2)

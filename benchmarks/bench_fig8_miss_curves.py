@@ -1,0 +1,38 @@
+"""Figure 8 — address-translation misses per node vs TLB/DLB size.
+
+Regenerates, for each of the six benchmarks, the six lines of the
+paper's Figure 8 (L0/L1/L2/L2-no_wback/L3/V-COMA) over the size axis
+8..512, and checks the headline shapes: filtering down the hierarchy and
+V-COMA at the bottom.
+"""
+
+import pytest
+
+from bench_common import report, BENCHMARKS, all_studies, sweep_study
+from repro import TapPoint
+from repro.analysis import render_miss_curves
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_fig8_curves(benchmark, name):
+    study = benchmark.pedantic(sweep_study, args=(name,), rounds=1, iterations=1)
+    report()
+    report(render_miss_curves(name, study))
+    # Shape: deeper translation points see fewer misses.
+    for size in (8, 32, 128):
+        assert study.misses(TapPoint.L3, size) <= study.misses(
+            TapPoint.L2_NO_WBACK, size
+        )
+
+
+def test_fig8_vcoma_wins_overall(benchmark):
+    studies = benchmark.pedantic(all_studies, rounds=1, iterations=1)
+    wins = 0
+    cells = 0
+    for name, study in studies.items():
+        for size in (32, 128, 512):
+            cells += 1
+            if study.misses(TapPoint.HOME, size) <= study.misses(TapPoint.L3, size):
+                wins += 1
+    report(f"\nV-COMA <= L3-TLB in {wins}/{cells} (benchmark, size>=32) cells")
+    assert wins >= cells * 0.8

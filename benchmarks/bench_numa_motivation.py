@@ -1,0 +1,75 @@
+"""The paper's motivating CC-NUMA comparison (Section 2 / Figure 1).
+
+Why does the paper move from CC-NUMA to COMA before placing translation
+at the memory?  Because in a CC-NUMA, "the sharing of TLBs is not
+efficient because of the lack of data migration and replication …
+capacity misses are remote most of the time".  This bench runs the same
+workloads on both machines, everything else equal:
+
+* remote-vs-local stall split — the attraction memory localizes the
+  capacity misses a CC-NUMA keeps paying the network for;
+* SHARED-TLB translation misses — the stream reaching a NUMA home is
+  *every* cache miss, while V-COMA's home only sees attraction-memory
+  misses, so the same shared structure works far less in V-COMA.
+"""
+
+from bench_common import BENCHMARKS, BENCH_PARAMS, bench_workload, report
+from repro import Scheme, Simulator, TapPoint
+from repro.numa import NumaMachine, SHARED_TLB
+from repro.system.machine import Machine
+from repro.system.taps import StudyAgent
+
+
+from repro.core.tlb import Organization
+
+
+def run_pair(name):
+    out = {}
+    for label, cls in (("numa", NumaMachine), ("coma", Machine)):
+        agent = StudyAgent(
+            BENCH_PARAMS, sizes=(8, 32), orgs=(Organization.FULLY_ASSOCIATIVE,)
+        )
+        machine = cls(BENCH_PARAMS, Scheme.V_COMA, bench_workload(name), agent=agent)
+        result = Simulator(machine).run()
+        out[label] = result
+    return out
+
+
+#: Capacity/locality-dominated workloads, where migration+replication
+#: pays off; RADIX is coherence-dominated (write-once permutation) and
+#: the classic NUMA-vs-COMA literature has NUMA winning there.
+CAPACITY_BENCHES = ("fft", "ocean")
+
+
+def run_all():
+    return {name: run_pair(name) for name in ("radix",) + CAPACITY_BENCHES}
+
+
+def test_numa_motivation(benchmark):
+    stats = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report()
+    report("CC-NUMA (SHARED-TLB) vs V-COMA, same workloads and constants")
+    report(
+        f"{'bench':8s} {'numa rem':>12s} {'coma rem':>12s} "
+        f"{'numa time':>12s} {'coma time':>12s} {'home misses n/c':>16s}"
+    )
+    for name, runs in stats.items():
+        numa_b = runs["numa"].aggregate_breakdown()
+        coma_b = runs["coma"].aggregate_breakdown()
+        numa_home = runs["numa"].study_results().misses(TapPoint.HOME, 8)
+        coma_home = runs["coma"].study_results().misses(TapPoint.HOME, 8)
+        report(
+            f"{name:8s} {numa_b.rem_stall:>12,} {coma_b.rem_stall:>12,} "
+            f"{runs['numa'].total_time:>12,} {runs['coma'].total_time:>12,} "
+            f"{numa_home:>7,}/{coma_home:<8,}"
+        )
+        if name in CAPACITY_BENCHES:
+            # Migration/replication localizes the capacity misses that
+            # the CC-NUMA keeps paying the network for (paper §2).
+            assert coma_b.rem_stall < numa_b.rem_stall, name
+            assert runs["coma"].total_time < runs["numa"].total_time, name
+        # The home of a CC-NUMA serves every cache miss; the COMA home
+        # only attraction-memory misses (the AM filters the stream).
+        numa_accesses = runs["numa"].study_results().accesses(TapPoint.HOME)
+        coma_accesses = runs["coma"].study_results().accesses(TapPoint.HOME)
+        assert coma_accesses < numa_accesses, name

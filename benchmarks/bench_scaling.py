@@ -1,0 +1,60 @@
+"""Scalability — "V-COMA scales well and works better in systems with
+large number of processors" (paper abstract / §6).
+
+Two scaling facts are measured as the node count grows (with per-node
+memory fixed, so the machine and its data set grow together):
+
+* the shared DLB's effective capacity grows P-fold while each node's
+  TLB stays fixed — the DLB miss *rate* falls with P while the L0 TLB
+  rate does not;
+* a mapping change costs per-node-TLB schemes a machine-wide shootdown
+  that grows linearly with P, and V-COMA a constant home-side update
+  (see bench_ablation_shootdown.py for the cost table).
+"""
+
+from bench_common import report
+from repro import MachineParams, TapPoint, make_workload
+from repro.analysis import run_miss_sweep
+
+NODE_COUNTS = (2, 4, 8, 16)
+ENTRIES = 8
+
+
+def run_scaling():
+    rows = []
+    for nodes in NODE_COUNTS:
+        params = MachineParams.scaled_down(factor=8, nodes=nodes, page_size=512)
+        result = run_miss_sweep(
+            params,
+            make_workload("radix", intensity=0.45),
+            sizes=(ENTRIES,),
+        )
+        study = result.study_results()
+        rows.append(
+            (
+                nodes,
+                study.miss_rate(TapPoint.L0, ENTRIES),
+                study.miss_rate(TapPoint.HOME, ENTRIES),
+            )
+        )
+    return rows
+
+
+def test_scaling_dlb_improves_with_nodes(benchmark):
+    rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    report()
+    report(f"RADIX miss rate per reference vs node count ({ENTRIES}-entry structures)")
+    report(f"{'nodes':>6s} {'L0-TLB':>10s} {'V-COMA DLB':>12s} {'ratio':>8s}")
+    for nodes, l0, dlb in rows:
+        ratio = l0 / max(1e-9, dlb)
+        report(f"{nodes:>6d} {l0 * 100:>9.2f}% {dlb * 100:>11.2f}% {ratio:>7.1f}x")
+
+    # The DLB's advantage over L0 grows with the machine.
+    ratios = [l0 / max(1e-9, dlb) for _, l0, dlb in rows]
+    assert ratios[-1] > ratios[0]
+    # Both rates rise with P (the data set grows with the machine and
+    # coherence traffic per reference with it), but the DLB's rate must
+    # grow strictly slower than the per-node TLB's.
+    l0_growth = rows[-1][1] / max(1e-9, rows[0][1])
+    dlb_growth = rows[-1][2] / max(1e-9, rows[0][2])
+    assert dlb_growth < l0_growth

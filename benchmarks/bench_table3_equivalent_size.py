@@ -1,0 +1,46 @@
+"""Table 3 — TLB size equivalent to an 8-entry DLB.
+
+For each benchmark and each per-node scheme, the TLB size whose miss
+count matches V-COMA's 8-entry DLB (log-interpolated along the Figure 8
+curve).  The paper's point: it takes TLBs of tens-to-hundreds of entries
+to match a tiny shared DLB.
+"""
+
+import math
+
+from bench_common import all_studies, report
+from repro import Scheme, TAP_OF_SCHEME, TapPoint
+from repro.analysis import equivalent_tlb_size, render_equivalent_size_table
+
+
+def test_table3_equivalent_sizes(benchmark):
+    studies = benchmark.pedantic(all_studies, rounds=1, iterations=1)
+    report()
+    report(render_equivalent_size_table(studies, dlb_entries=8))
+
+    bigger_than_4x = 0
+    cells = 0
+    for name, study in studies.items():
+        target = study.misses(TapPoint.HOME, 8)
+        for scheme in (Scheme.L0_TLB, Scheme.L1_TLB, Scheme.L2_TLB, Scheme.L3_TLB):
+            size = equivalent_tlb_size(study, TAP_OF_SCHEME[scheme], target)
+            cells += 1
+            if math.isinf(size) or size >= 32:
+                bigger_than_4x += 1
+    report(f"equivalent TLB >= 4x the DLB in {bigger_than_4x}/{cells} cells")
+    assert bigger_than_4x >= cells * 0.6
+
+
+def test_table3_l3_needs_smaller_tlb_than_l0(benchmark):
+    """Deeper schemes are closer to the DLB (paper: L3 columns are the
+    smallest of the four TLB columns)."""
+    studies = benchmark.pedantic(all_studies, rounds=1, iterations=1)
+    closer = 0
+    for name, study in studies.items():
+        target = study.misses(TapPoint.HOME, 8)
+        l0 = equivalent_tlb_size(study, TapPoint.L0, target)
+        l3 = equivalent_tlb_size(study, TapPoint.L3, target)
+        if (not math.isinf(l0) and not math.isinf(l3) and l3 <= l0) or math.isinf(l0):
+            closer += 1
+    report(f"\nL3 equivalent <= L0 equivalent for {closer}/{len(studies)} benchmarks")
+    assert closer >= len(studies) - 1

@@ -1,0 +1,19 @@
+"""Benchmark-suite configuration.
+
+The point of these benches is the tables/figures they regenerate, and
+pytest's capture (plus pytest-benchmark's own hooks) would swallow them
+for passing tests.  Benches queue their rendered artifacts through
+``bench_common.report``; this conftest prints the whole collection in
+the terminal summary, after pytest-benchmark's timing table.
+"""
+
+import bench_common
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not bench_common.REPORTS:
+        return
+    terminalreporter.section("regenerated paper artifacts")
+    for block in bench_common.REPORTS:
+        for line in block.splitlines() or [""]:
+            terminalreporter.write_line(line)

@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Generate the complete reproduction report in one call.
+
+Runs every table and figure of the paper's evaluation on a scaled-down
+machine and writes ``reproduction_report.md`` next to this script's
+working directory.  Equivalent to ``python -m repro report``.
+
+For a quick pass use fewer workloads or --no-figures via the CLI; the
+full default run simulates a few million references and takes a few
+minutes of CPU.
+
+Run:  python examples/full_reproduction.py [out.md]
+"""
+
+import sys
+
+from repro import MachineParams
+from repro.analysis import write_report
+
+
+def main() -> None:
+    out = sys.argv[1] if len(sys.argv) > 1 else "reproduction_report.md"
+    params = MachineParams.scaled_down(factor=8, nodes=8, page_size=512)
+    print("Machine:")
+    print(params.describe())
+    print()
+    print(f"Running the full evaluation (this takes a few minutes) ...")
+    text = write_report(out, params=params)
+    print(f"Wrote {out}: {len(text.splitlines())} lines, "
+          f"{sum(1 for l in text.splitlines() if l.startswith('##'))} sections")
+
+
+if __name__ == "__main__":
+    main()

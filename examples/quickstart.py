@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: compare the five translation schemes on one workload.
+
+Builds a small COMA machine (8 nodes with the paper's geometry scaled
+down), runs the OCEAN-like workload once with the sweep instrument, and
+prints the Figure 8-style miss curves plus a physical-COMA vs V-COMA
+execution-time comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MachineParams, Scheme, TapPoint, make_workload
+from repro.analysis import (
+    render_breakdown_bars,
+    render_miss_curves,
+    run_miss_sweep,
+    run_timing,
+)
+
+
+def main() -> None:
+    params = MachineParams.scaled_down(factor=8, nodes=8, page_size=512)
+    print("Machine configuration")
+    print("---------------------")
+    print(params.describe())
+    print()
+
+    workload = make_workload("ocean")
+
+    # ------------------------------------------------------------------
+    # 1. One simulation, every translation point observed (Figure 8).
+    # ------------------------------------------------------------------
+    print("Sweeping TLB/DLB sizes over one OCEAN run ...")
+    result = run_miss_sweep(
+        params, workload, sizes=(8, 32, 128, 512), max_refs_per_node=8000
+    )
+    study = result.study_results()
+    print(render_miss_curves("ocean", study))
+    print()
+
+    dlb8 = study.misses(TapPoint.HOME, 8)
+    l0_512 = study.misses(TapPoint.L0, 512)
+    print(f"An 8-entry shared DLB misses {dlb8} times;")
+    print(f"per-node 512-entry L0 TLBs still miss {l0_512} times.")
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. Coupled timing: the physical COMA baseline vs V-COMA.
+    # ------------------------------------------------------------------
+    print("Timing runs (40-cycle translation miss penalty) ...")
+    bars = {}
+    for label, scheme in (("TLB/8", Scheme.L0_TLB), ("DLB/8", Scheme.V_COMA)):
+        run = run_timing(
+            params, scheme, make_workload("ocean"), entries=8, max_refs_per_node=8000
+        )
+        bars[label] = run.average_breakdown()
+        ratio = run.translation_overhead_ratio()
+        print(
+            f"  {label:8s} total {run.total_time:>10,} cycles, "
+            f"translation/memory-stall = {ratio * 100:5.2f}%"
+        )
+    print()
+    print(render_breakdown_bars("ocean", bars, baseline_label="TLB/8"))
+
+
+if __name__ == "__main__":
+    main()

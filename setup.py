@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Allows ``python setup.py develop`` on environments whose pip cannot do
+PEP 660 editable installs (no ``wheel`` package, offline).  Normal
+installs should use ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+``experiments`` runs the simulations; ``tables`` and ``figures`` render
+paper-style text output.  Every benchmark in ``benchmarks/`` is a thin
+wrapper over these functions, so the full evaluation can also be driven
+programmatically (see ``examples/``).
+"""
+
+from repro.analysis.experiments import (
+    equivalent_tlb_size,
+    pressure_profile,
+    run_execution_breakdown,
+    run_miss_sweep,
+    run_timing,
+    scheme_miss_rates,
+    scheme_misses,
+)
+from repro.analysis.tables import (
+    render_equivalent_size_table,
+    render_miss_rate_table,
+    render_overhead_table,
+)
+from repro.analysis.report import generate_report, write_report
+from repro.analysis.traffic import WorkloadProfile, profile_workload
+from repro.analysis.validation import Claim, ValidationReport, validate_reproduction
+from repro.analysis.tag_overhead import render_tag_overhead_table, tag_overhead_increase
+from repro.analysis.figures import (
+    render_breakdown_bars,
+    render_dm_vs_fa,
+    render_miss_curves,
+    render_pressure_profile,
+)
+
+__all__ = [
+    "equivalent_tlb_size",
+    "pressure_profile",
+    "render_breakdown_bars",
+    "render_dm_vs_fa",
+    "render_equivalent_size_table",
+    "render_miss_curves",
+    "render_miss_rate_table",
+    "render_overhead_table",
+    "render_pressure_profile",
+    "run_execution_breakdown",
+    "run_miss_sweep",
+    "run_timing",
+    "Claim",
+    "ValidationReport",
+    "WorkloadProfile",
+    "generate_report",
+    "profile_workload",
+    "render_tag_overhead_table",
+    "scheme_miss_rates",
+    "scheme_misses",
+    "tag_overhead_increase",
+    "validate_reproduction",
+    "write_report",
+]

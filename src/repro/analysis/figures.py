@@ -1,0 +1,120 @@
+"""Text renderings of the paper's figures (8, 9, 10 and 11).
+
+Everything renders to plain text so benchmarks can print the series a
+plotting tool (or a reader) needs; no plotting dependency is required
+offline.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Tuple
+
+from repro.common.stats import AverageBreakdown
+from repro.core.schemes import TapPoint
+from repro.core.tlb import Organization
+from repro.system.taps import StudyResults
+
+#: The lines of Figure 8, in legend order.
+FIG8_TAPS: Tuple[Tuple[str, TapPoint], ...] = (
+    ("L0-TLB", TapPoint.L0),
+    ("L1-TLB", TapPoint.L1),
+    ("L2-TLB", TapPoint.L2),
+    ("L2-TLB/no_wback", TapPoint.L2_NO_WBACK),
+    ("L3-TLB", TapPoint.L3),
+    ("V-COMA", TapPoint.HOME),
+)
+
+
+def render_miss_curves(
+    name: str,
+    study: StudyResults,
+    org: Organization = Organization.FULLY_ASSOCIATIVE,
+    title: str = "Figure 8: Address Translation Misses vs. TLB/DLB Size",
+) -> str:
+    """One benchmark's panel of Figure 8: misses-per-node vs size."""
+    sizes = sorted(study.sizes)
+    header = f"{title} — {name.upper()}"
+    lines = [header, "scheme".ljust(18) + "".join(f"{s:>12}" for s in sizes)]
+    for label, tap in FIG8_TAPS:
+        row = [label.ljust(18)]
+        for size in sizes:
+            row.append(f"{study.misses_per_node(tap, size, org):>12.1f}")
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def render_dm_vs_fa(name: str, study: StudyResults) -> str:
+    """Figure 9: direct-mapped vs fully-associative miss counts."""
+    sizes = sorted(study.sizes)
+    lines = [
+        f"Figure 9: Direct Mapped vs Fully Associative — {name.upper()}",
+        "scheme".ljust(22) + "".join(f"{s:>12}" for s in sizes),
+    ]
+    for label, tap in FIG8_TAPS:
+        if tap is TapPoint.L2_NO_WBACK:
+            continue
+        for org in (Organization.DIRECT_MAPPED, Organization.FULLY_ASSOCIATIVE):
+            row = [(label + org.suffix).ljust(22)]
+            for size in sizes:
+                row.append(f"{study.misses_per_node(tap, size, org):>12.1f}")
+            lines.append("".join(row))
+    return "\n".join(lines)
+
+
+#: Figure 10 stacking order (bottom to top in the paper's bars).
+BREAKDOWN_COMPONENTS = ("busy", "loc_stall", "rem_stall", "tlb_stall", "sync")
+
+
+def render_breakdown_bars(
+    name: str,
+    breakdowns: Mapping[str, AverageBreakdown],
+    baseline_label: str,
+    width: int = 50,
+) -> str:
+    """Figure 10: execution-time bars normalized to a baseline config."""
+    baseline = breakdowns[baseline_label]
+    lines = [f"Figure 10: Execution Time — {name.upper()} (normalized to {baseline_label})"]
+    glyphs = {"busy": "B", "loc_stall": "l", "rem_stall": "r", "tlb_stall": "T", "sync": "s"}
+    for label, breakdown in breakdowns.items():
+        normalized = breakdown.normalized_to(baseline)
+        bar = "".join(
+            glyphs[comp] * max(0, round(normalized[comp] * width))
+            for comp in BREAKDOWN_COMPONENTS
+        )
+        lines.append(f"{label.ljust(14)} {normalized['total']:6.3f} |{bar}")
+    lines.append(
+        "legend: B=busy  l=local stall  r=remote stall  T=translation  s=sync"
+    )
+    return "\n".join(lines)
+
+
+def render_pressure_profile(
+    name: str,
+    profile: Sequence[float],
+    width: int = 40,
+    max_rows: int = 32,
+) -> str:
+    """Figure 11: pressure per global page set as a horizontal bar list.
+
+    Long profiles are bucketed down to ``max_rows`` rows (mean pressure
+    per bucket) so the rendering stays readable.
+    """
+    lines = [f"Figure 11: Pressure Profile — {name.upper()}"]
+    count = len(profile)
+    if count == 0:
+        return lines[0] + "\n(empty profile)"
+    if count > max_rows:
+        bucket = -(-count // max_rows)
+        rows = [
+            (f"{i}-{min(i + bucket, count) - 1}", sum(profile[i : i + bucket]) / len(profile[i : i + bucket]))
+            for i in range(0, count, bucket)
+        ]
+    else:
+        rows = [(str(i), p) for i, p in enumerate(profile)]
+    peak = max(p for _, p in rows) or 1.0
+    for label, pressure in rows:
+        bar = "#" * round(pressure / peak * width)
+        lines.append(f"set {label:>9}  {pressure:6.3f} |{bar}")
+    mean = sum(profile) / count
+    lines.append(f"mean={mean:.3f} max={max(profile):.3f} min={min(profile):.3f}")
+    return "\n".join(lines)

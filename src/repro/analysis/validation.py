@@ -1,0 +1,249 @@
+"""Self-validation: does the reproduction's contract hold here?
+
+:func:`validate_reproduction` runs a compact version of every
+shape-claim in EXPERIMENTS.md on a given machine configuration and
+returns a scorecard.  Downstream users who change parameters, workloads
+or substrates can ask directly whether the paper's qualitative results
+still hold, without reading the test suite:
+
+>>> report = validate_reproduction(quick=True)
+>>> print(report.render())
+>>> assert report.passed
+
+Exposed on the CLI as ``python -m repro validate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.experiments import (
+    equivalent_tlb_size,
+    pressure_profile,
+    run_miss_sweep,
+    run_timing,
+)
+from repro.common.params import MachineParams
+from repro.core.schemes import Scheme, TapPoint
+from repro.core.tlb import Organization
+from repro.workloads import make_workload
+from repro.workloads.raytrace import RaytraceWorkload
+
+
+@dataclass
+class Claim:
+    """One verified shape-claim."""
+
+    name: str
+    description: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class ValidationReport:
+    """Scorecard over all claims."""
+
+    params: MachineParams
+    claims: List[Claim] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.claims)
+
+    @property
+    def score(self) -> str:
+        good = sum(1 for c in self.claims if c.passed)
+        return f"{good}/{len(self.claims)}"
+
+    def render(self) -> str:
+        lines = [
+            f"Reproduction contract on {self.params.nodes} nodes "
+            f"({self.params.am_size // 1024} KB AM/node, "
+            f"{self.params.page_size} B pages): {self.score} claims hold",
+        ]
+        for claim in self.claims:
+            mark = "PASS" if claim.passed else "FAIL"
+            lines.append(f"  [{mark}] {claim.name}: {claim.description}")
+            if claim.detail:
+                lines.append(f"         {claim.detail}")
+        return "\n".join(lines)
+
+
+def validate_reproduction(
+    params: Optional[MachineParams] = None,
+    quick: bool = True,
+    workload_names: Optional[List[str]] = None,
+) -> ValidationReport:
+    """Check the paper's headline shapes on one configuration.
+
+    ``quick`` truncates the runs (a few thousand references per node);
+    with ``quick=False`` complete streams run (minutes).  Claims cover:
+    filtering, the writeback effect, sharing/prefetching (RADIX),
+    Table 3's equivalent sizes, Table 4's overhead ordering, the
+    RAYTRACE padding pathology, and Figure 11's pressure uniformity.
+    """
+    params = params or MachineParams.scaled_down(factor=8, nodes=8, page_size=512)
+    names = workload_names or ["radix", "fft", "ocean"]
+    # Complete streams always: truncation would distort each workload's
+    # phase mix (e.g. cutting FFT during its TLB-friendly local phase).
+    # Quick mode shortens streams through per-workload intensity instead.
+    full_intensity = {
+        "radix": 0.45, "fft": 0.25, "fmm": 1.0,
+        "ocean": 0.2, "raytrace": 3.0, "barnes": 1.0,
+    }
+    divisor = 4.0 if quick else 1.0
+    refs = None
+
+    def intensity_for(name: str) -> float:
+        return full_intensity.get(name, 1.0) / divisor
+
+    report = ValidationReport(params=params)
+
+    # ------------------------------------------------------------------
+    # sweep-based claims
+    # ------------------------------------------------------------------
+    studies = {}
+    for name in names:
+        result = run_miss_sweep(
+            params,
+            make_workload(name, intensity=intensity_for(name)),
+            sizes=(8, 32, 128),
+            orgs=(Organization.FULLY_ASSOCIATIVE,),
+            max_refs_per_node=refs,
+        )
+        studies[name] = result.study_results()
+
+    filtering_ok = all(
+        study.misses(TapPoint.L3, size) <= study.misses(TapPoint.L2_NO_WBACK, size)
+        and study.misses(TapPoint.L2_NO_WBACK, size) <= study.misses(TapPoint.L1, size) * 1.10
+        and study.misses(TapPoint.L1, size) <= study.misses(TapPoint.L0, size) * 1.05
+        for study in studies.values()
+        for size in (8, 32, 128)
+    )
+    report.claims.append(
+        Claim(
+            "filtering",
+            "misses decrease with the translation point's depth (Fig. 8)",
+            filtering_ok,
+        )
+    )
+
+    writeback_ok = any(
+        studies[n].misses(TapPoint.L2, 8) > studies[n].misses(TapPoint.L0, 8)
+        for n in names
+        if n in ("fft", "ocean")
+    ) and all(
+        studies[n].misses(TapPoint.L2, 8) >= studies[n].misses(TapPoint.L2_NO_WBACK, 8)
+        for n in names
+    )
+    report.claims.append(
+        Claim(
+            "writeback-effect",
+            "SLC writebacks inflate L2-TLB misses, past L0 on FFT/OCEAN (§5.2)",
+            writeback_ok,
+        )
+    )
+
+    vcoma_cells = [
+        (n, size)
+        for n in names
+        for size in (32, 128)
+        if studies[n].misses(TapPoint.HOME, size) < studies[n].misses(TapPoint.L3, size)
+    ]
+    total_cells = len(names) * 2
+    report.claims.append(
+        Claim(
+            "sharing",
+            "the shared DLB beats per-node L3 TLBs from 32 entries up",
+            len(vcoma_cells) >= total_cells * 0.8,
+            f"{len(vcoma_cells)}/{total_cells} cells",
+        )
+    )
+
+    if "radix" in studies:
+        study = studies["radix"]
+        target = study.misses(TapPoint.HOME, 8)
+        equivalent = equivalent_tlb_size(study, TapPoint.L0, target)
+        report.claims.append(
+            Claim(
+                "equivalent-size",
+                "matching an 8-entry DLB takes a much larger L0 TLB (Table 3)",
+                equivalent > 32,
+                f"equivalent L0 size ~{equivalent:.0f}" if equivalent != float("inf") else "beyond the sweep",
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # timing claims
+    # ------------------------------------------------------------------
+    # RADIX shows the overhead contrast most robustly at reduced
+    # intensity (its sharing effect survives sparse sampling).
+    timing_name = "radix" if "radix" in names else names[0]
+    l0 = run_timing(
+        params, Scheme.L0_TLB,
+        make_workload(timing_name, intensity=intensity_for(timing_name)),
+        8, max_refs_per_node=refs,
+    )
+    vcoma = run_timing(
+        params, Scheme.V_COMA,
+        make_workload(timing_name, intensity=intensity_for(timing_name)),
+        8, max_refs_per_node=refs,
+    )
+    l0_ratio = l0.translation_overhead_ratio()
+    v_ratio = vcoma.translation_overhead_ratio()
+    report.claims.append(
+        Claim(
+            "overhead",
+            "translation stall: visible under L0-TLB, small under V-COMA (Table 4)",
+            v_ratio < l0_ratio and l0_ratio > 0.02,
+            f"L0 {l0_ratio * 100:.2f}% vs V-COMA {v_ratio * 100:.2f}%",
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # raytrace padding + pressure claims
+    # ------------------------------------------------------------------
+    ray_intensity = intensity_for("raytrace")
+    v1 = run_timing(
+        params, Scheme.V_COMA, RaytraceWorkload(intensity=ray_intensity), 8,
+        max_refs_per_node=refs, contention=True,
+    )
+    v2 = run_timing(
+        params, Scheme.V_COMA, RaytraceWorkload.v2(intensity=ray_intensity), 8,
+        max_refs_per_node=refs, contention=True,
+    )
+    report.claims.append(
+        Claim(
+            "padding",
+            "pathological padding slows V-COMA; page alignment recovers it (Fig. 10 V2)",
+            v1.total_time > v2.total_time,
+            f"V1/V2 time ratio {v1.total_time / max(1, v2.total_time):.2f}",
+        )
+    )
+
+    profile = pressure_profile(params, make_workload(names[0]))
+    mean = sum(profile) / len(profile)
+    report.claims.append(
+        Claim(
+            "pressure",
+            "global-set pressure is near uniform without placement effort (Fig. 11)",
+            mean > 0 and max(profile) <= mean * 1.7 and min(profile) >= mean * 0.3,
+            f"mean {mean:.3f}, max {max(profile):.3f}, min {min(profile):.3f}",
+        )
+    )
+
+    v1_profile = pressure_profile(params, RaytraceWorkload())
+    v2_profile = pressure_profile(params, RaytraceWorkload.v2())
+    imbalance = lambda prof: max(prof) / (sum(prof) / len(prof))
+    report.claims.append(
+        Claim(
+            "padding-pressure",
+            "the V1 padding concentrates pressure; V2 flattens it (Fig. 11)",
+            imbalance(v1_profile) > imbalance(v2_profile) * 1.3,
+            f"imbalance V1 {imbalance(v1_profile):.2f} vs V2 {imbalance(v2_profile):.2f}",
+        )
+    )
+
+    return report

@@ -1,0 +1,23 @@
+"""Processor cache substrate: generic set-associative caches.
+
+The paper's node has a direct-mapped write-through FLC and a 4-way
+write-back SLC; both are instances of :class:`Cache`, which models tag
+state, LRU replacement and dirtiness at block granularity (data values
+are never simulated — only hit/miss behaviour matters to the study).
+"""
+
+from repro.cache.cache import (
+    CLEAN_EXCLUSIVE,
+    CLEAN_SHARED,
+    DIRTY,
+    Cache,
+    EvictedBlock,
+)
+
+__all__ = [
+    "CLEAN_EXCLUSIVE",
+    "CLEAN_SHARED",
+    "Cache",
+    "DIRTY",
+    "EvictedBlock",
+]

@@ -1,0 +1,324 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+::
+
+    python -m repro describe  [--nodes 8 --factor 8 --page-size 512]
+    python -m repro sweep     radix [--sizes 8,32,128,512] [--dm]
+    python -m repro timing    ocean --scheme V-COMA --entries 8
+    python -m repro table2    [workloads...]
+    python -m repro table3    [workloads...]
+    python -m repro table4    [workloads...]
+    python -m repro pressure  raytrace [--v2]
+    python -m repro workloads
+
+Every command accepts the machine options (``--nodes``, ``--factor``,
+``--page-size``, ``--seed``) and ``--refs`` to bound references per
+node.  Output is plain text, identical to the benchmark harness's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import (
+    pressure_profile,
+    render_equivalent_size_table,
+    render_miss_curves,
+    render_miss_rate_table,
+    render_overhead_table,
+    render_dm_vs_fa,
+    render_pressure_profile,
+    run_miss_sweep,
+    run_timing,
+)
+from repro.common.params import MachineParams
+from repro.core.schemes import Scheme
+from repro.core.tlb import Organization
+from repro.workloads import PAPER_ORDER, WORKLOADS, make_workload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Options for Dynamic Address Translation in COMAs'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_machine_options(p):
+        p.add_argument("--nodes", type=int, default=8, help="processor count (power of two)")
+        p.add_argument("--factor", type=int, default=8, help="scale-down factor vs the paper machine")
+        p.add_argument("--page-size", type=int, default=512, help="page size in bytes")
+        p.add_argument("--seed", type=int, default=1998)
+        p.add_argument("--refs", type=int, default=None, help="max references per node")
+        p.add_argument("--paper-machine", action="store_true",
+                       help="use the exact Section 5.1 configuration (slow)")
+
+    p = sub.add_parser("describe", help="print the machine configuration")
+    add_machine_options(p)
+
+    p = sub.add_parser("workloads", help="list the available workloads")
+
+    p = sub.add_parser("sweep", help="Figure 8/9 miss curves for one workload")
+    p.add_argument("workload", choices=sorted(WORKLOADS))
+    p.add_argument("--sizes", default="8,32,128,512")
+    p.add_argument("--dm", action="store_true", help="also show direct-mapped curves (Figure 9)")
+    p.add_argument("--intensity", type=float, default=1.0)
+    add_machine_options(p)
+
+    p = sub.add_parser("timing", help="coupled timing run (Table 4 cell)")
+    p.add_argument("workload", choices=sorted(WORKLOADS))
+    p.add_argument("--scheme", default="V-COMA",
+                   choices=[s.value for s in Scheme])
+    p.add_argument("--entries", type=int, default=8)
+    p.add_argument("--dm", action="store_true", help="direct-mapped TLB/DLB")
+    p.add_argument("--intensity", type=float, default=1.0)
+    add_machine_options(p)
+
+    for table in ("table2", "table3", "table4"):
+        p = sub.add_parser(table, help=f"regenerate paper {table.capitalize()}")
+        p.add_argument("workloads", nargs="*", default=[])
+        p.add_argument("--intensity", type=float, default=1.0)
+        add_machine_options(p)
+
+    p = sub.add_parser("report", help="run the full evaluation and write a markdown report")
+    p.add_argument("--out", default="reproduction_report.md")
+    p.add_argument("--no-figures", action="store_true",
+                   help="tables only (much faster)")
+    p.add_argument("workloads", nargs="*", default=[])
+    add_machine_options(p)
+
+    p = sub.add_parser("validate", help="check the paper's shape-claims on this configuration")
+    p.add_argument("--full", action="store_true", help="complete streams (slow)")
+    p.add_argument("workloads", nargs="*", default=[])
+    add_machine_options(p)
+
+    p = sub.add_parser("profile", help="per-segment traffic profile of a workload")
+    p.add_argument("workload", choices=sorted(WORKLOADS))
+    p.add_argument("--intensity", type=float, default=1.0)
+    add_machine_options(p)
+
+    p = sub.add_parser("trace", help="record a workload's reference trace to a file")
+    p.add_argument("workload", choices=sorted(WORKLOADS))
+    p.add_argument("--out", required=True)
+    p.add_argument("--intensity", type=float, default=1.0)
+    add_machine_options(p)
+
+    p = sub.add_parser("replay", help="replay a recorded trace through a scheme")
+    p.add_argument("trace_file")
+    p.add_argument("--scheme", default="V-COMA", choices=[s.value for s in Scheme])
+    p.add_argument("--entries", type=int, default=8)
+    add_machine_options(p)
+
+    p = sub.add_parser("pressure", help="Figure 11 pressure profile")
+    p.add_argument("workload", choices=sorted(WORKLOADS))
+    p.add_argument("--v2", action="store_true",
+                   help="raytrace only: page-aligned padding layout")
+    add_machine_options(p)
+
+    return parser
+
+
+def machine_params(args) -> MachineParams:
+    if getattr(args, "paper_machine", False):
+        return MachineParams.paper_baseline().replace(seed=args.seed)
+    return MachineParams.scaled_down(
+        factor=args.factor, nodes=args.nodes, page_size=args.page_size
+    ).replace(seed=args.seed)
+
+
+def _workload_list(args) -> List[str]:
+    names = list(getattr(args, "workloads", [])) or list(PAPER_ORDER)
+    for name in names:
+        if name not in WORKLOADS:
+            raise SystemExit(f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}")
+    return names
+
+
+def _sweep_studies(params, names, args, sizes=(8, 32, 128, 512)):
+    studies = {}
+    for name in names:
+        result = run_miss_sweep(
+            params,
+            make_workload(name, intensity=args.intensity),
+            sizes=sizes,
+            max_refs_per_node=args.refs,
+        )
+        studies[name] = result.study_results()
+    return studies
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    out = sys.stdout
+
+    if args.command == "describe":
+        out.write(machine_params(args).describe() + "\n")
+        return 0
+
+    if args.command == "workloads":
+        for name in PAPER_ORDER:
+            workload = WORKLOADS[name]
+            doc = (workload.__doc__ or "").strip().splitlines()[0]
+            out.write(f"{name:10s} {doc}\n")
+        return 0
+
+    params = machine_params(args)
+
+    if args.command == "sweep":
+        sizes = tuple(int(s) for s in args.sizes.split(","))
+        result = run_miss_sweep(
+            params,
+            make_workload(args.workload, intensity=args.intensity),
+            sizes=sizes,
+            max_refs_per_node=args.refs,
+        )
+        study = result.study_results()
+        out.write(render_miss_curves(args.workload, study) + "\n")
+        if args.dm:
+            out.write("\n" + render_dm_vs_fa(args.workload, study) + "\n")
+        return 0
+
+    if args.command == "timing":
+        org = Organization.DIRECT_MAPPED if args.dm else Organization.FULLY_ASSOCIATIVE
+        result = run_timing(
+            params,
+            Scheme(args.scheme),
+            make_workload(args.workload, intensity=args.intensity),
+            args.entries,
+            organization=org,
+            max_refs_per_node=args.refs,
+        )
+        breakdown = result.average_breakdown()
+        out.write(f"scheme        : {args.scheme}\n")
+        out.write(f"total time    : {result.total_time:,} cycles\n")
+        out.write(f"references    : {result.total_references:,}\n")
+        out.write(
+            "breakdown     : "
+            f"busy {breakdown.busy:,.0f}  sync {breakdown.sync:,.0f}  "
+            f"loc {breakdown.loc_stall:,.0f}  rem {breakdown.rem_stall:,.0f}  "
+            f"tlb {breakdown.tlb_stall:,.0f}\n"
+        )
+        out.write(
+            f"translation   : {result.translation_overhead_ratio() * 100:.2f}% of memory stall\n"
+        )
+        summary = result.timing_summary()
+        out.write(
+            f"TLB/DLB       : {summary['misses']:,} misses / "
+            f"{summary['accesses']:,} accesses ({summary['miss_rate'] * 100:.2f}%)\n"
+        )
+        return 0
+
+    if args.command == "table2":
+        studies = _sweep_studies(params, _workload_list(args), args, sizes=(8, 32, 128))
+        out.write(render_miss_rate_table(studies, sizes=(8, 32, 128)) + "\n")
+        return 0
+
+    if args.command == "table3":
+        studies = _sweep_studies(params, _workload_list(args), args)
+        out.write(render_equivalent_size_table(studies, dlb_entries=8) + "\n")
+        return 0
+
+    if args.command == "table4":
+        rows = {}
+        names = _workload_list(args)
+        for entries in (8, 16):
+            rows[f"L0-TLB/{entries}"] = {
+                name: run_timing(
+                    params, Scheme.L0_TLB,
+                    make_workload(name, intensity=args.intensity),
+                    entries, max_refs_per_node=args.refs,
+                )
+                for name in names
+            }
+            rows[f"DLB/{entries}"] = {
+                name: run_timing(
+                    params, Scheme.V_COMA,
+                    make_workload(name, intensity=args.intensity),
+                    entries, max_refs_per_node=args.refs,
+                )
+                for name in names
+            }
+        out.write(render_overhead_table(rows) + "\n")
+        return 0
+
+    if args.command == "report":
+        from repro.analysis.report import write_report
+
+        names = _workload_list(args)
+        text = write_report(
+            args.out,
+            params=params,
+            workloads=names,
+            include_figures=not args.no_figures,
+        )
+        out.write(f"wrote {args.out} ({len(text.splitlines())} lines)\n")
+        return 0
+
+    if args.command == "validate":
+        from repro.analysis import validate_reproduction
+
+        names = list(args.workloads) or None
+        report = validate_reproduction(
+            params, quick=not args.full, workload_names=names
+        )
+        out.write(report.render() + "\n")
+        return 0 if report.passed else 1
+
+    if args.command == "profile":
+        from repro.analysis import profile_workload
+
+        profile = profile_workload(
+            params,
+            make_workload(args.workload, intensity=args.intensity),
+            max_refs_per_node=args.refs,
+        )
+        out.write(profile.render() + "\n")
+        return 0
+
+    if args.command == "trace":
+        from repro.system.machine import Machine
+        from repro.workloads.trace import record_trace
+
+        workload = make_workload(args.workload, intensity=args.intensity)
+        machine = Machine(params, Scheme.V_COMA, workload)
+        with open(args.out, "w") as handle:
+            written = record_trace(
+                workload, machine.ctx, handle, max_refs_per_node=args.refs
+            )
+        out.write(f"wrote {args.out}: {written} events\n")
+        return 0
+
+    if args.command == "replay":
+        from repro.workloads.trace import TraceWorkload
+
+        workload = TraceWorkload.from_file(args.trace_file)
+        result = run_timing(
+            params, Scheme(args.scheme), workload, args.entries,
+            max_refs_per_node=args.refs,
+        )
+        out.write(f"scheme      : {args.scheme}\n")
+        out.write(f"total time  : {result.total_time:,} cycles\n")
+        out.write(f"references  : {result.total_references:,}\n")
+        out.write(
+            f"translation : {result.translation_overhead_ratio() * 100:.2f}% of memory stall\n"
+        )
+        return 0
+
+    if args.command == "pressure":
+        if args.v2 and args.workload == "raytrace":
+            from repro.workloads import RaytraceWorkload
+
+            workload = RaytraceWorkload.v2()
+        else:
+            workload = make_workload(args.workload)
+        profile = pressure_profile(params, workload)
+        out.write(render_pressure_profile(args.workload, profile) + "\n")
+        return 0
+
+    raise SystemExit(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""COMA substrate: attraction memories, directories, COMA-F protocol.
+
+The machine is a *flat* COMA in the style of COMA-F (Joe, 1995), which
+the paper extends: data and directory access are decoupled, each block
+has a home node holding its directory entry, and attraction memories
+migrate/replicate blocks under a write-invalidate protocol with four
+stable states (Invalid, Shared, Master-shared, Exclusive).  Replacement
+of a master copy *injects* the block toward the home node, which accepts
+it or forwards it to a random node with room (paper Section 4.2).
+"""
+
+from repro.coma.states import AMState, DirectoryEntry
+from repro.coma.attraction import AttractionMemory
+from repro.coma.directory import Directory
+from repro.coma.protocol import AccessOutcome, ProtocolEngine, TranslationAgent
+
+__all__ = [
+    "AMState",
+    "AccessOutcome",
+    "AttractionMemory",
+    "Directory",
+    "DirectoryEntry",
+    "ProtocolEngine",
+    "TranslationAgent",
+]

@@ -1,0 +1,64 @@
+"""Per-home-node directory memory.
+
+The directory of a flat COMA records, for every block homed at this
+node, where the master copy lives and which nodes hold replicas.  In
+V-COMA the directory is *located* through the virtual-to-directory-
+address translation (page table + DLB); that lookup path is modelled in
+:mod:`repro.core.dlb` and charged by the protocol engine — this module
+is the storage itself, keyed by protocol block address.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.common.errors import ProtocolError
+from repro.coma.states import DirectoryEntry
+
+
+class Directory:
+    """Directory entries for the blocks homed at one node."""
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        self._entries: Dict[int, DirectoryEntry] = {}
+        self.lookups = 0
+
+    def entry(self, block: int) -> DirectoryEntry:
+        """Fetch (creating on first touch) the entry for a block."""
+        self.lookups += 1
+        found = self._entries.get(block)
+        if found is None:
+            found = DirectoryEntry()
+            self._entries[block] = found
+        return found
+
+    def peek(self, block: int) -> Optional[DirectoryEntry]:
+        """Entry without creating or counting (tests/invariants)."""
+        return self._entries.get(block)
+
+    def require_owner(self, block: int) -> int:
+        """The master's node; raises :class:`ProtocolError` when the
+        block has no master (data would be lost — impossible after
+        preload)."""
+        entry = self.entry(block)
+        if entry.owner is None:
+            raise ProtocolError(
+                f"home {self.node}: block {block:#x} has no master copy"
+            )
+        return entry.owner
+
+    def drop_sharer(self, block: int, node: int) -> None:
+        entry = self._entries.get(block)
+        if entry is not None:
+            entry.sharers.discard(node)
+
+    def forget(self, block: int) -> None:
+        """Remove a block's entry entirely (page-out path)."""
+        self._entries.pop(block, None)
+
+    def blocks(self) -> Iterator[Tuple[int, DirectoryEntry]]:
+        return iter(self._entries.items())
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,151 @@
+"""Virtual/physical address field decomposition (paper Figure 6).
+
+Addresses are plain Python ints.  :class:`AddressLayout` derives every
+field boundary from a :class:`~repro.common.params.MachineParams`:
+
+``b``
+    log2 of the attraction-memory block size — the granularity of
+    coherence and of directory entries.
+``n``
+    log2 of the page size.
+``p``
+    log2 of the node count.  In V-COMA (and for our round-robin physical
+    allocator) the **low p bits of the page number select the home node**.
+``s``
+    log2 of the number of attraction-memory sets per node.
+
+Derived structures:
+
+* the AM set index of a block is address bits ``[b, b+s)``;
+* a page spans ``2^(n-b)`` consecutive AM sets, so pages fall into
+  ``2^(s+b-n)`` *global page sets* (page colors) indexed by address bits
+  ``[n, s+b)``;
+* within a page, a block's directory-entry index is bits ``[b, n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.params import MachineParams
+
+
+def _log2(x: int) -> int:
+    return x.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class AddressLayout:
+    """Bit-field views over integer addresses for one machine geometry."""
+
+    block_bits: int
+    page_bits: int
+    node_bits: int
+    am_set_bits: int
+    flc_block_bits: int
+    slc_block_bits: int
+
+    @classmethod
+    def from_params(cls, params: MachineParams) -> "AddressLayout":
+        return cls(
+            block_bits=_log2(params.am_block),
+            page_bits=_log2(params.page_size),
+            node_bits=_log2(params.nodes),
+            am_set_bits=_log2(params.am_sets),
+            flc_block_bits=_log2(params.flc_block),
+            slc_block_bits=_log2(params.slc_block),
+        )
+
+    # ------------------------------------------------------------------
+    # derived counts
+    # ------------------------------------------------------------------
+    @property
+    def page_size(self) -> int:
+        return 1 << self.page_bits
+
+    @property
+    def nodes(self) -> int:
+        return 1 << self.node_bits
+
+    @property
+    def am_sets(self) -> int:
+        return 1 << self.am_set_bits
+
+    @property
+    def blocks_per_page(self) -> int:
+        return 1 << (self.page_bits - self.block_bits)
+
+    @property
+    def global_page_set_bits(self) -> int:
+        """Width of the global-page-set (page color) index."""
+        return self.am_set_bits + self.block_bits - self.page_bits
+
+    @property
+    def global_page_sets(self) -> int:
+        return 1 << self.global_page_set_bits
+
+    # ------------------------------------------------------------------
+    # page-granularity fields
+    # ------------------------------------------------------------------
+    def vpn(self, addr: int) -> int:
+        """Virtual page number."""
+        return addr >> self.page_bits
+
+    def page_offset(self, addr: int) -> int:
+        return addr & (self.page_size - 1)
+
+    def page_base(self, addr: int) -> int:
+        return addr & ~(self.page_size - 1)
+
+    def home_node(self, addr: int) -> int:
+        """Home node of a virtual address: low ``p`` bits of the VPN."""
+        return (addr >> self.page_bits) & (self.nodes - 1)
+
+    def home_node_of_vpn(self, vpn: int) -> int:
+        return vpn & (self.nodes - 1)
+
+    def global_page_set(self, addr: int) -> int:
+        """Page color: address bits ``[n, s+b)``."""
+        return (addr >> self.page_bits) & (self.global_page_sets - 1)
+
+    def global_page_set_of_vpn(self, vpn: int) -> int:
+        return vpn & (self.global_page_sets - 1)
+
+    # ------------------------------------------------------------------
+    # block-granularity fields
+    # ------------------------------------------------------------------
+    def block_number(self, addr: int) -> int:
+        """Block number at attraction-memory granularity."""
+        return addr >> self.block_bits
+
+    def block_base(self, addr: int) -> int:
+        return addr & ~((1 << self.block_bits) - 1)
+
+    def am_set_index(self, addr: int) -> int:
+        """Attraction-memory set index: address bits ``[b, b+s)``."""
+        return (addr >> self.block_bits) & (self.am_sets - 1)
+
+    def directory_entry_index(self, addr: int) -> int:
+        """Index of the block's entry inside its directory page
+        (the ``n - b`` page-offset bits above the block offset)."""
+        return (addr >> self.block_bits) & (self.blocks_per_page - 1)
+
+    def flc_block_base(self, addr: int) -> int:
+        return addr & ~((1 << self.flc_block_bits) - 1)
+
+    def slc_block_base(self, addr: int) -> int:
+        return addr & ~((1 << self.slc_block_bits) - 1)
+
+    # ------------------------------------------------------------------
+    # construction helpers (used by tests and workloads)
+    # ------------------------------------------------------------------
+    def make_address(self, vpn: int, offset: int = 0) -> int:
+        """Build an address from a page number and page offset."""
+        if not 0 <= offset < self.page_size:
+            raise ValueError(f"offset {offset} outside page of {self.page_size} bytes")
+        return (vpn << self.page_bits) | offset
+
+    def page_am_sets(self, vpn: int) -> range:
+        """The consecutive AM set indices a page's blocks occupy."""
+        first = self.am_set_index(vpn << self.page_bits)
+        return range(first, first + self.blocks_per_page)

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything coming out of the simulator with one handler while
+still distinguishing configuration mistakes from runtime protocol
+violations.
+"""
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A :class:`~repro.common.params.MachineParams` (or workload)
+    configuration is internally inconsistent — e.g. a cache size that is
+    not a multiple of ``block * assoc``, or a page smaller than an
+    attraction-memory block."""
+
+
+class CapacityError(ReproError):
+    """A COMA global set ran out of slots for a master copy.
+
+    In a real COMA the page daemon would swap a page out; the simulator
+    preloads all pages (as the paper does) and treats global-set pressure
+    reaching 1 as a hard error unless the optional swap daemon is
+    enabled."""
+
+
+class ProtocolError(ReproError):
+    """The coherence protocol reached a state that should be unreachable
+    (e.g. two Exclusive copies of one block).  Always indicates a bug, not
+    a workload problem."""
+
+
+class TranslationFault(ReproError):
+    """A virtual address could not be translated — no page-table entry at
+    the home node.  With preloaded data sets this means the workload
+    touched an address outside its declared segments."""

@@ -1,0 +1,218 @@
+"""Statistics containers used across the simulator.
+
+:class:`Counters` is a thin, explicit counter bag (a ``dict`` with
+attribute access and arithmetic helpers); :class:`TimeBreakdown` is the
+per-node cycle account that Figure 10 of the paper plots (busy / sync /
+local stall / remote stall / translation stall).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Iterator, Tuple
+
+
+class Counters:
+    """A mapping of named integer counters.
+
+    Unknown names read as zero, so call sites can increment freely:
+
+    >>> c = Counters()
+    >>> c.add("flc_miss")
+    >>> c["flc_miss"]
+    1
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, **initial: int) -> None:
+        self._values: Dict[str, int] = dict(initial)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._values[name] = self._values.get(name, 0) + amount
+
+    def __getitem__(self, name: str) -> int:
+        return self._values.get(name, 0)
+
+    def __setitem__(self, name: str, value: int) -> None:
+        self._values[name] = value
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self._values.items()))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def merge(self, other: "Counters") -> "Counters":
+        """Return a new :class:`Counters` with summed values."""
+        merged = Counters(**self._values)
+        for name, value in other:
+            merged.add(name, value)
+        return merged
+
+    def to_dict(self) -> Dict[str, int]:
+        return dict(self._values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self)
+        return f"Counters({inner})"
+
+
+class LatencyHistogram:
+    """Power-of-two-bucketed latency distribution.
+
+    Bucket ``i`` counts events with latency in ``[2^i, 2^(i+1))``
+    (bucket 0 additionally holds zero-latency events).  Cheap enough
+    for per-reference recording (one ``bit_length`` per event).
+    """
+
+    __slots__ = ("_buckets", "count", "total")
+
+    def __init__(self) -> None:
+        self._buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+
+    def record(self, latency: int) -> None:
+        bucket = latency.bit_length() - 1 if latency > 0 else 0
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+        self.count += 1
+        self.total += latency
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def bucket(self, index: int) -> int:
+        return self._buckets.get(index, 0)
+
+    def buckets(self) -> Dict[int, int]:
+        """``{bucket index: count}`` for non-empty buckets."""
+        return dict(sorted(self._buckets.items()))
+
+    def percentile(self, fraction: float) -> int:
+        """Upper bound of the bucket containing the given quantile."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if not self.count:
+            return 0
+        threshold = fraction * self.count
+        seen = 0
+        for bucket in sorted(self._buckets):
+            seen += self._buckets[bucket]
+            if seen >= threshold:
+                return (1 << (bucket + 1)) - 1
+        return (1 << (max(self._buckets) + 1)) - 1
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        merged = LatencyHistogram()
+        for hist in (self, other):
+            for bucket, count in hist._buckets.items():
+                merged._buckets[bucket] = merged._buckets.get(bucket, 0) + count
+            merged.count += hist.count
+            merged.total += hist.total
+        return merged
+
+    def render(self, width: int = 40) -> str:
+        if not self.count:
+            return "(no samples)"
+        peak = max(self._buckets.values())
+        lines = []
+        for bucket in sorted(self._buckets):
+            count = self._buckets[bucket]
+            low = 0 if bucket == 0 else 1 << bucket
+            high = (1 << (bucket + 1)) - 1
+            bar = "#" * max(1, round(count / peak * width))
+            lines.append(f"{low:>7}-{high:<7} {count:>8} |{bar}")
+        lines.append(f"mean={self.mean:.1f} count={self.count}")
+        return "\n".join(lines)
+
+
+@dataclass
+class TimeBreakdown:
+    """Per-node execution-time account, in processor cycles.
+
+    Matches Figure 10's stacked bars: ``busy`` (instruction execution),
+    ``sync`` (barrier/lock waiting), ``loc_stall`` (local cache and
+    attraction-memory misses), ``rem_stall`` (remote attraction-memory
+    misses) plus ``tlb_stall`` (address-translation penalty, charged
+    separately so the TLB overhead can be read off directly).
+    """
+
+    busy: int = 0
+    sync: int = 0
+    loc_stall: int = 0
+    rem_stall: int = 0
+    tlb_stall: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.busy + self.sync + self.loc_stall + self.rem_stall + self.tlb_stall
+
+    @property
+    def memory_stall(self) -> int:
+        """Processor stall on local + remote memory accesses (the
+        denominator of the paper's Table 4)."""
+        return self.loc_stall + self.rem_stall
+
+    def translation_overhead_ratio(self) -> float:
+        """Table 4's metric: translation stall / memory stall."""
+        if self.memory_stall == 0:
+            return 0.0
+        return self.tlb_stall / self.memory_stall
+
+    def __add__(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        return TimeBreakdown(
+            busy=self.busy + other.busy,
+            sync=self.sync + other.sync,
+            loc_stall=self.loc_stall + other.loc_stall,
+            rem_stall=self.rem_stall + other.rem_stall,
+            tlb_stall=self.tlb_stall + other.tlb_stall,
+        )
+
+    def scaled(self, divisor: float) -> "AverageBreakdown":
+        """Average over ``divisor`` nodes (used for machine-wide bars)."""
+        if divisor <= 0:
+            raise ValueError("divisor must be positive")
+        return AverageBreakdown(
+            busy=self.busy / divisor,
+            sync=self.sync / divisor,
+            loc_stall=self.loc_stall / divisor,
+            rem_stall=self.rem_stall / divisor,
+            tlb_stall=self.tlb_stall / divisor,
+        )
+
+    def to_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass
+class AverageBreakdown:
+    """A :class:`TimeBreakdown` averaged over nodes (float-valued)."""
+
+    busy: float = 0.0
+    sync: float = 0.0
+    loc_stall: float = 0.0
+    rem_stall: float = 0.0
+    tlb_stall: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.busy + self.sync + self.loc_stall + self.rem_stall + self.tlb_stall
+
+    def normalized_to(self, baseline: "AverageBreakdown") -> Dict[str, float]:
+        """Components as fractions of another breakdown's total (the
+        paper normalizes every bar to the baseline scheme)."""
+        if baseline.total == 0:
+            raise ValueError("baseline breakdown has zero total time")
+        return {
+            "busy": self.busy / baseline.total,
+            "sync": self.sync / baseline.total,
+            "loc_stall": self.loc_stall / baseline.total,
+            "rem_stall": self.rem_stall / baseline.total,
+            "tlb_stall": self.tlb_stall / baseline.total,
+            "total": self.total / baseline.total,
+        }

@@ -1,0 +1,129 @@
+"""The DLB (Directory Lookaside Buffer) of V-COMA (paper Figures 5 and 7).
+
+The DLB sits between a home node's protocol engine and its directory
+memory.  It caches virtual-page-number → directory-page translations so
+that most directory lookups avoid walking the home's page table.  Unlike
+a TLB it is *shared*: every node's coherence requests for pages homed
+here consult the same DLB, giving the paper's *sharing* and *prefetching*
+effects.
+
+The DLB also shadows the page-access metadata the virtual-memory system
+needs: the Reference bit is set by every translation, and the Modify bit
+is set when a node asks for exclusive ownership of any block of the page
+(paper Section 4.3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.tlb import Organization, TranslationBuffer
+
+#: Resolver signature: VPN -> directory-page base address.  Raising
+#: :class:`TranslationFault` models a page fault at the home node.
+Resolver = Callable[[int], int]
+
+
+class DirectoryLookasideBuffer:
+    """A translation cache from virtual page numbers to directory pages.
+
+    Composes a :class:`TranslationBuffer` (for capacity/organization/
+    replacement behaviour) with the translated payload and the R/M bits.
+    """
+
+    def __init__(
+        self,
+        entries: int,
+        resolver: Resolver,
+        organization: Organization = Organization.FULLY_ASSOCIATIVE,
+        assoc: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self._buffer = TranslationBuffer(entries, organization, assoc=assoc, rng=rng)
+        self._resolver = resolver
+        self._payload: Dict[int, int] = {}
+        self._referenced: Dict[int, bool] = {}
+        self._modified: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def entries(self) -> int:
+        return self._buffer.entries
+
+    @property
+    def accesses(self) -> int:
+        return self._buffer.accesses
+
+    @property
+    def misses(self) -> int:
+        return self._buffer.misses
+
+    @property
+    def hits(self) -> int:
+        return self._buffer.hits
+
+    @property
+    def miss_rate(self) -> float:
+        return self._buffer.miss_rate
+
+    # ------------------------------------------------------------------
+    def translate(self, vpn: int, for_ownership: bool = False) -> Tuple[int, bool]:
+        """Translate a VPN to its directory-page base.
+
+        Returns ``(directory_page_base, hit)``.  A miss invokes the
+        resolver (page-table walk by the protocol engine); the buffer
+        then caches the translation, evicting a random victim if full.
+        ``for_ownership`` marks the page Modified (a node requested
+        exclusive ownership of one of its blocks).
+        """
+        hit = self._buffer.access(vpn)
+        if not hit:
+            base = self._resolver(vpn)
+            self._payload[vpn] = base
+            self._garbage_collect()
+        self._referenced[vpn] = True
+        if for_ownership:
+            self._modified[vpn] = True
+        return self._payload[vpn], hit
+
+    def _garbage_collect(self) -> None:
+        """Drop payloads for entries the underlying buffer evicted."""
+        if len(self._payload) <= self._buffer.valid_entries:
+            return
+        resident = set(self._buffer.resident_pages())
+        for vpn in list(self._payload):
+            if vpn not in resident:
+                del self._payload[vpn]
+
+    def contains(self, vpn: int) -> bool:
+        return self._buffer.contains(vpn)
+
+    def invalidate(self, vpn: int) -> bool:
+        """Shoot down one entry (page unmap / protection change)."""
+        self._payload.pop(vpn, None)
+        return self._buffer.invalidate(vpn)
+
+    def flush(self) -> None:
+        self._buffer.flush()
+        self._payload.clear()
+
+    # ------------------------------------------------------------------
+    # page-access metadata (paper Section 4.3)
+    # ------------------------------------------------------------------
+    def referenced(self, vpn: int) -> bool:
+        return self._referenced.get(vpn, False)
+
+    def modified(self, vpn: int) -> bool:
+        return self._modified.get(vpn, False)
+
+    def clear_reference_bits(self) -> None:
+        """The protocol engine periodically resets reference bits so the
+        page daemon can approximate LRU (paper Section 4.1)."""
+        self._referenced.clear()
+
+    def reset_stats(self) -> None:
+        self._buffer.reset_stats()
+
+    def __repr__(self) -> str:
+        return f"DLB(entries={self.entries}, misses={self.misses}/{self.accesses})"

@@ -1,0 +1,214 @@
+"""TLB and DLB hardware models.
+
+A :class:`TranslationBuffer` caches page-granularity translations.  It is
+agnostic about *what* the translation maps to — for the L0-L3 TLBs it
+stands for virtual-to-physical page mappings, for V-COMA's DLB it stands
+for virtual-page-to-directory-page mappings.  What the paper measures is
+the hit/miss behaviour, which only depends on the stream of page numbers,
+the capacity, the organization, and the (random) replacement policy.
+
+:class:`TranslationBank` feeds one access stream into many buffers of
+different sizes/organizations at once; this is what makes regenerating
+Figure 8 and Figure 9 cheap (one hierarchy simulation, all TLB sizes).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import make_rng
+
+
+class Organization(enum.Enum):
+    """TLB/DLB lookup organization."""
+
+    FULLY_ASSOCIATIVE = "fa"
+    SET_ASSOCIATIVE = "sa"
+    DIRECT_MAPPED = "dm"
+
+    @property
+    def suffix(self) -> str:
+        """The paper's notation suffix (``/DM`` for direct mapped)."""
+        return {"fa": "", "sa": "/SA", "dm": "/DM"}[self.value]
+
+
+class TranslationBuffer:
+    """A TLB or DLB: a cache of page-number translations.
+
+    Parameters
+    ----------
+    entries:
+        Total number of entries (power of two).
+    organization:
+        Fully associative (paper default), direct mapped, or set
+        associative with ``assoc`` ways.
+    assoc:
+        Ways per set; required iff ``organization`` is set-associative.
+    rng:
+        Source for random replacement (the paper's policy).  A fresh
+        deterministic stream is created when omitted.
+    """
+
+    def __init__(
+        self,
+        entries: int,
+        organization: Organization = Organization.FULLY_ASSOCIATIVE,
+        assoc: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ConfigurationError(f"entries={entries} must be a positive power of two")
+        if organization is Organization.FULLY_ASSOCIATIVE:
+            assoc = entries
+        elif organization is Organization.DIRECT_MAPPED:
+            assoc = 1
+        else:
+            if assoc is None or assoc <= 0 or entries % assoc:
+                raise ConfigurationError(
+                    "set-associative buffers need assoc dividing entries"
+                )
+        self.entries = entries
+        self.organization = organization
+        self.assoc = assoc
+        self.sets = entries // assoc
+        self._rng = rng if rng is not None else make_rng(0, "tlb", entries, organization.value)
+        # One list of tags per set; position in the list is the way.
+        self._tags: List[List[int]] = [[] for _ in range(self.sets)]
+        self._where: Dict[int, Tuple[int, int]] = {}
+        self.accesses = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def valid_entries(self) -> int:
+        return len(self._where)
+
+    def _set_of(self, page: int) -> int:
+        return page % self.sets
+
+    def contains(self, page: int) -> bool:
+        """True iff the page's translation is currently cached (no
+        statistics side effects)."""
+        return page in self._where
+
+    def access(self, page: int) -> bool:
+        """Look up ``page``; on a miss, install it (evicting a random
+        victim if the set is full).  Returns True on a hit."""
+        self.accesses += 1
+        if page in self._where:
+            return True
+        self.misses += 1
+        set_idx = self._set_of(page)
+        ways = self._tags[set_idx]
+        if len(ways) < self.assoc:
+            self._where[page] = (set_idx, len(ways))
+            ways.append(page)
+        else:
+            way = self._rng.randrange(self.assoc) if self.assoc > 1 else 0
+            victim = ways[way]
+            del self._where[victim]
+            ways[way] = page
+            self._where[page] = (set_idx, way)
+        return False
+
+    def probe(self, page: int) -> bool:
+        """Like :meth:`access` but without installing on a miss (models a
+        lookup that is aborted, e.g. a writeback using a stored physical
+        pointer)."""
+        self.accesses += 1
+        if page in self._where:
+            return True
+        self.misses += 1
+        return False
+
+    def invalidate(self, page: int) -> bool:
+        """Remove one translation (TLB shootdown).  Returns True if it
+        was present."""
+        location = self._where.pop(page, None)
+        if location is None:
+            return False
+        set_idx, way = location
+        ways = self._tags[set_idx]
+        last = len(ways) - 1
+        if way != last:
+            moved = ways[last]
+            ways[way] = moved
+            self._where[moved] = (set_idx, way)
+        ways.pop()
+        return True
+
+    def flush(self) -> None:
+        """Drop every translation (context-switch style flush)."""
+        self._tags = [[] for _ in range(self.sets)]
+        self._where.clear()
+
+    def resident_pages(self) -> Iterable[int]:
+        return self._where.keys()
+
+    def reset_stats(self) -> None:
+        self.accesses = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"TranslationBuffer(entries={self.entries}, "
+            f"org={self.organization.value}, misses={self.misses}/{self.accesses})"
+        )
+
+
+class TranslationBank:
+    """A set of buffers that all observe the same access stream.
+
+    Used by the sweep experiments: one simulated reference stream is fed
+    to every (size, organization) point of Figures 8 and 9
+    simultaneously.
+    """
+
+    #: Ways used for SET_ASSOCIATIVE bank members (capped by entries).
+    SET_ASSOC_WAYS = 4
+
+    def __init__(self, configs: Iterable[Tuple[int, Organization]], seed: int = 0, name: str = "bank") -> None:
+        self.buffers: Dict[Tuple[int, Organization], TranslationBuffer] = {}
+        for entries, organization in configs:
+            key = (entries, organization)
+            if key in self.buffers:
+                continue
+            assoc = None
+            if organization is Organization.SET_ASSOCIATIVE:
+                assoc = min(self.SET_ASSOC_WAYS, entries)
+            self.buffers[key] = TranslationBuffer(
+                entries,
+                organization,
+                assoc=assoc,
+                rng=make_rng(seed, name, entries, organization.value),
+            )
+        self.accesses = 0
+
+    def access(self, page: int) -> None:
+        self.accesses += 1
+        for buffer in self.buffers.values():
+            buffer.access(page)
+
+    def misses(self, entries: int, organization: Organization = Organization.FULLY_ASSOCIATIVE) -> int:
+        return self.buffers[(entries, organization)].misses
+
+    def miss_rate(self, entries: int, organization: Organization = Organization.FULLY_ASSOCIATIVE) -> float:
+        return self.buffers[(entries, organization)].miss_rate
+
+    def results(self) -> Dict[Tuple[int, str], int]:
+        """Miss counts keyed by ``(entries, organization value)``."""
+        return {
+            (entries, org.value): buf.misses
+            for (entries, org), buf in self.buffers.items()
+        }

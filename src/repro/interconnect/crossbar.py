@@ -1,0 +1,92 @@
+"""Crossbar timing model (paper Section 5.1).
+
+The network is an 8-bit-wide crossbar clocked at half the processor
+frequency.  With the paper's parameters an 8-byte request costs 16
+processor cycles and a 128-byte-block message costs 272; both numbers are
+derived from the geometry in :class:`~repro.common.params.MachineParams`
+so scaled configurations stay self-consistent.
+
+Two operating modes:
+
+* **latency-only** (default, the paper's model): a transfer between
+  distinct nodes costs its size-class latency; node-local transfers are
+  free.
+* **port contention** (optional): each node's input port serializes
+  deliveries — a transfer completes no earlier than the port is free,
+  and occupies it for the transfer duration.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from typing import Optional
+
+from repro.common.params import MachineParams
+from repro.common.stats import Counters
+from repro.interconnect.message import MessageKind
+from repro.interconnect.topology import Topology
+
+
+class Crossbar:
+    """Charges message latencies and counts traffic.
+
+    With a :class:`~repro.interconnect.topology.Topology` attached,
+    every hop beyond the first adds ``router_latency_cycles`` (the
+    paper's crossbar is the one-hop special case).
+    """
+
+    def __init__(
+        self,
+        params: MachineParams,
+        contention: bool = False,
+        topology: Optional[Topology] = None,
+    ) -> None:
+        self.params = params
+        self.contention = contention
+        self.topology = topology
+        self.counters = Counters()
+        self._port_free_at: List[int] = [0] * params.nodes
+
+    def cycles_for(self, kind: MessageKind, src: int = 0, dst: int = 1) -> int:
+        """Latency of one message in processor cycles (0 if node-local
+        — callers skip charging for local hops)."""
+        if kind.carries_block:
+            base = self.params.block_msg_cycles
+        else:
+            base = self.params.request_msg_cycles
+        if self.topology is not None and src != dst:
+            extra_hops = self.topology.hops(src, dst) - 1
+            base += extra_hops * self.params.router_latency_cycles
+        return base
+
+    def transfer(self, kind: MessageKind, src: int, dst: int, now: int) -> int:
+        """Deliver one message starting at processor cycle ``now``.
+
+        Returns the completion time.  Local (``src == dst``) transfers
+        are free and bypass the port model.
+        """
+        self.counters.add(f"msg_{kind.value}")
+        if src == dst:
+            self.counters.add("msg_local")
+            return now
+        cycles = self.cycles_for(kind, src, dst)
+        self.counters.add("msg_remote")
+        self.counters.add("network_cycles", cycles)
+        if kind.carries_block:
+            payload = self.params.am_block + self.params.message_header_bytes
+        else:
+            payload = self.params.request_payload_bytes
+        self.counters.add("payload_bytes", payload)
+        if not self.contention:
+            return now + cycles
+        start = max(now, self._port_free_at[dst])
+        done = start + cycles
+        self._port_free_at[dst] = done
+        if start > now:
+            self.counters.add("contention_cycles", start - now)
+        return done
+
+    def traffic_bytes(self) -> int:
+        """Total payload bytes moved between distinct nodes."""
+        return self.counters["payload_bytes"]

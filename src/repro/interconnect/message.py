@@ -1,0 +1,53 @@
+"""Protocol message vocabulary.
+
+Messages are descriptive records: the simulator charges their latency
+through :class:`~repro.interconnect.crossbar.Crossbar` and counts them in
+per-kind statistics; no queues of live message objects are kept (the
+trace-interleaved engine processes each transaction to completion).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class MessageKind(enum.Enum):
+    """Kinds of protocol messages, grouped by payload size.
+
+    ``REQUEST``-sized messages carry an address (8 bytes on the wire);
+    ``BLOCK``-sized messages carry an attraction-memory block.
+    """
+
+    READ_REQUEST = "read_request"
+    WRITE_REQUEST = "write_request"
+    UPGRADE_REQUEST = "upgrade_request"
+    FORWARD = "forward"
+    INVALIDATE = "invalidate"
+    ACK = "ack"
+    SHARER_DROP = "sharer_drop"
+    BLOCK_REPLY = "block_reply"
+    INJECT = "inject"
+    INJECT_FORWARD = "inject_forward"
+
+    @property
+    def carries_block(self) -> bool:
+        return self in (
+            MessageKind.BLOCK_REPLY,
+            MessageKind.INJECT,
+            MessageKind.INJECT_FORWARD,
+        )
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol message (for tracing and tests)."""
+
+    kind: MessageKind
+    src: int
+    dst: int
+    addr: int
+
+    @property
+    def is_local(self) -> bool:
+        return self.src == self.dst

@@ -1,0 +1,117 @@
+"""Interconnect topologies.
+
+The paper's machine uses a crossbar (every pair one hop).  For
+scalability exploration the library also models hop-count-based ring and
+2-D mesh topologies: a message pays the base wire cost plus a per-hop
+router charge.  Topologies only affect *latency*; bandwidth contention
+stays in :class:`~repro.interconnect.crossbar.Crossbar`'s port model.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+from repro.common.errors import ConfigurationError
+
+
+class Topology(abc.ABC):
+    """Distance model between nodes."""
+
+    name = "abstract"
+
+    def __init__(self, nodes: int) -> None:
+        if nodes <= 0:
+            raise ConfigurationError("topology needs a positive node count")
+        self.nodes = nodes
+
+    @abc.abstractmethod
+    def hops(self, src: int, dst: int) -> int:
+        """Router-to-router hops between two distinct nodes (>= 1)."""
+
+    def diameter(self) -> int:
+        return max(
+            self.hops(0, dst) for dst in range(1, self.nodes)
+        ) if self.nodes > 1 else 0
+
+    def average_distance(self) -> float:
+        if self.nodes == 1:
+            return 0.0
+        total = sum(
+            self.hops(s, d)
+            for s in range(self.nodes)
+            for d in range(self.nodes)
+            if s != d
+        )
+        return total / (self.nodes * (self.nodes - 1))
+
+    def _check(self, src: int, dst: int) -> None:
+        if not (0 <= src < self.nodes and 0 <= dst < self.nodes):
+            raise ConfigurationError(f"node out of range: {src}->{dst}")
+
+
+class CrossbarTopology(Topology):
+    """Every pair of distinct nodes is one hop apart (the paper's
+    network)."""
+
+    name = "crossbar"
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        return 0 if src == dst else 1
+
+
+class RingTopology(Topology):
+    """Bidirectional ring; messages take the shorter way round."""
+
+    name = "ring"
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        if src == dst:
+            return 0
+        clockwise = (dst - src) % self.nodes
+        return min(clockwise, self.nodes - clockwise)
+
+
+class Mesh2DTopology(Topology):
+    """2-D mesh with X-Y routing; nodes laid out row-major on the most
+    square grid whose area is the node count."""
+
+    name = "mesh2d"
+
+    def __init__(self, nodes: int) -> None:
+        super().__init__(nodes)
+        width = int(math.isqrt(nodes))
+        while nodes % width:
+            width -= 1
+        self.width = width
+        self.height = nodes // width
+
+    def _coords(self, node: int):
+        return node % self.width, node // self.width
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        if src == dst:
+            return 0
+        sx, sy = self._coords(src)
+        dx, dy = self._coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+
+TOPOLOGIES = {
+    "crossbar": CrossbarTopology,
+    "ring": RingTopology,
+    "mesh2d": Mesh2DTopology,
+}
+
+
+def make_topology(name: str, nodes: int) -> Topology:
+    try:
+        factory = TOPOLOGIES[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown topology {name!r}; choose from {sorted(TOPOLOGIES)}"
+        ) from None
+    return factory(nodes)

@@ -1,0 +1,197 @@
+"""Trace-interleaved multiprocessor simulation.
+
+The simulator always advances the node with the smallest local clock, so
+cross-node interactions (coherence interleaving, barrier imbalance, lock
+contention) happen in a globally consistent time order even though each
+reference is processed atomically.  Synchronization semantics:
+
+* **barrier** — a node arriving waits until every *active* node has
+  arrived; the wait is charged to ``sync``.  (A node whose stream ends
+  counts as arrived at every future barrier, so imbalanced tails cannot
+  deadlock the machine.)
+* **lock / unlock** — locks are FIFO queues keyed by the lock word's
+  address; acquisition and release each perform a real store to the
+  lock word (generating genuine coherence traffic, which is how
+  RAYTRACE's task-queue contention shows up).  Waiting time is charged
+  to ``sync``.
+
+At the end of the run every node's idle tail (waiting for the slowest
+node to finish) is charged to ``sync``, as if a final barrier closed the
+program — this is how the paper's per-benchmark bars stay comparable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Dict, Optional
+
+from repro.common.errors import ReproError
+from repro.system.machine import Machine
+from repro.system.refs import BARRIER, LOCK, READ, UNLOCK, WRITE
+from repro.system.results import RunResult
+
+
+class Simulator:
+    """Drives one machine over its workload's reference streams."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        max_refs_per_node: Optional[int] = None,
+        check_invariants_every: int = 0,
+    ) -> None:
+        self.machine = machine
+        self.max_refs_per_node = max_refs_per_node
+        self.check_invariants_every = check_invariants_every
+
+    def run(self) -> RunResult:
+        machine = self.machine
+        nodes = machine.nodes
+        count = len(nodes)
+        think = machine.workload.think_cycles
+        streams = [machine.node_stream(n) for n in range(count)]
+        clock = [0] * count
+        refs_done = [0] * count
+        finished = [False] * count
+        active = count
+        barriers_seen = 0
+        total_refs_processed = 0
+        check_every = self.check_invariants_every
+
+        # Barrier state: id -> {node: arrival_time}
+        barrier_arrivals: Dict[int, Dict[int, int]] = {}
+        # Lock state: lock word address -> holder node (or None) + queue.
+        lock_holder: Dict[int, Optional[int]] = {}
+        lock_queue: Dict[int, deque] = {}
+
+        heap = [(0, n) for n in range(count)]
+        heapq.heapify(heap)
+
+        def finish(node: int, now: int) -> None:
+            nonlocal active
+            finished[node] = True
+            clock[node] = now
+            active -= 1
+            # Process exit releases any lock still held (only reachable
+            # when max_refs_per_node truncates inside a critical section).
+            for word, holder in list(lock_holder.items()):
+                if holder != node:
+                    continue
+                queue = lock_queue.get(word)
+                if queue:
+                    waiter, arrival = queue.popleft()
+                    lock_holder[word] = waiter
+                    nodes[waiter].breakdown.sync += max(0, now - arrival)
+                    heapq.heappush(heap, (max(now, arrival), waiter))
+                else:
+                    lock_holder[word] = None
+            # A finished node satisfies every outstanding barrier.
+            for barrier_id in list(barrier_arrivals):
+                self._maybe_release_barrier(
+                    barrier_id, barrier_arrivals, finished, clock, heap, nodes, active
+                )
+
+        while heap:
+            now, n = heapq.heappop(heap)
+            if finished[n]:
+                continue
+            if self.max_refs_per_node is not None and refs_done[n] >= self.max_refs_per_node:
+                finish(n, now)
+                continue
+            event = next(streams[n], None)
+            if event is None:
+                finish(n, now)
+                continue
+            op, value = event
+
+            if op == READ or op == WRITE:
+                nodes[n].breakdown.busy += think
+                stall = nodes[n].reference(op == WRITE, value, now + think)
+                clock[n] = now + think + stall
+                refs_done[n] += 1
+                total_refs_processed += 1
+                heapq.heappush(heap, (clock[n], n))
+                if check_every and total_refs_processed % check_every == 0:
+                    machine.engine.check_invariants()
+            elif op == BARRIER:
+                barriers_seen += 1
+                arrivals = barrier_arrivals.setdefault(value, {})
+                if n in arrivals:
+                    raise ReproError(
+                        f"node {n} reached barrier {value} twice before release"
+                    )
+                arrivals[n] = now
+                clock[n] = now
+                self._maybe_release_barrier(
+                    value, barrier_arrivals, finished, clock, heap, nodes, active
+                )
+            elif op == LOCK:
+                word = value
+                holder = lock_holder.get(word)
+                if holder is None:
+                    lock_holder[word] = n
+                    stall = nodes[n].reference(True, word, now)
+                    clock[n] = now + stall
+                    heapq.heappush(heap, (clock[n], n))
+                else:
+                    lock_queue.setdefault(word, deque()).append((n, now))
+            elif op == UNLOCK:
+                word = value
+                if lock_holder.get(word) != n:
+                    raise ReproError(
+                        f"node {n} unlocks {word:#x} held by {lock_holder.get(word)}"
+                    )
+                stall = nodes[n].reference(True, word, now)
+                release_time = now + stall
+                clock[n] = release_time
+                heapq.heappush(heap, (clock[n], n))
+                queue = lock_queue.get(word)
+                if queue:
+                    waiter, arrival = queue.popleft()
+                    lock_holder[word] = waiter
+                    nodes[waiter].breakdown.sync += release_time - arrival
+                    acquire_stall = nodes[waiter].reference(True, word, release_time)
+                    clock[waiter] = release_time + acquire_stall
+                    heapq.heappush(heap, (clock[waiter], waiter))
+                else:
+                    lock_holder[word] = None
+            else:  # pragma: no cover - defensive
+                raise ReproError(f"unknown opcode {op}")
+
+        if barrier_arrivals:
+            raise ReproError(
+                f"deadlock: barriers {sorted(barrier_arrivals)} never released"
+            )
+        held = [w for w, h in lock_holder.items() if h is not None]
+        if held:
+            raise ReproError(f"locks still held at end of run: {held}")
+
+        # Idle tails count as synchronization (final implicit barrier).
+        end_time = max(clock) if clock else 0
+        for n in range(count):
+            nodes[n].breakdown.sync += end_time - clock[n]
+
+        return RunResult(
+            machine=machine,
+            breakdowns=[node.breakdown for node in nodes],
+            total_time=end_time,
+            refs_per_node=refs_done,
+            barriers=barriers_seen,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _maybe_release_barrier(barrier_id, barrier_arrivals, finished, clock, heap, nodes, active) -> None:
+        arrivals = barrier_arrivals.get(barrier_id)
+        if arrivals is None:
+            return
+        waiting = len(arrivals)
+        if waiting < active:
+            return
+        release = max(arrivals.values()) if arrivals else 0
+        for node_id, arrived in arrivals.items():
+            nodes[node_id].breakdown.sync += release - arrived
+            clock[node_id] = release
+            heapq.heappush(heap, (release, node_id))
+        del barrier_arrivals[barrier_id]

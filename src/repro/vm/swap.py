@@ -1,0 +1,95 @@
+"""Page daemon / swap-out path (paper Section 4.3) — optional extension.
+
+On a page fault, "a resident page may have to be swapped out by the page
+daemon if the memory pressure of the page's global set is higher than a
+threshold".  The paper preloads its data sets and never exercises this
+path; we implement it anyway so the pressure-threshold behaviour of
+Section 4.3 is testable and so oversubscribed workloads degrade
+gracefully instead of dying with :class:`CapacityError`.
+
+The daemon approximates LRU with the page-table reference bits (which the
+protocol engine periodically clears): victims are chosen
+not-referenced-first, then FIFO by residence order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import CapacityError
+from repro.vm.page_table import HomePageTable
+from repro.vm.pressure import PressureTracker
+
+#: Callback invoked to actually evict a page: flush its blocks from every
+#: attraction memory, invalidate DLB entries, reclaim its directory page.
+EvictHook = Callable[[int], None]
+
+
+class SwapDaemon:
+    """Keeps every global page set's pressure under a threshold."""
+
+    def __init__(
+        self,
+        pressure: PressureTracker,
+        page_tables: List[HomePageTable],
+        evict_hook: EvictHook,
+        threshold: float = 0.9,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        self.pressure = pressure
+        self.page_tables = page_tables
+        self.evict_hook = evict_hook
+        self.threshold = threshold
+        self.swapped_out = 0
+        self._residence_order: Dict[int, int] = {}
+        self._arrival = 0
+
+    def note_page_in(self, vpn: int) -> None:
+        """Record residence order for FIFO tie-breaking."""
+        self._residence_order[vpn] = self._arrival
+        self._arrival += 1
+
+    def note_page_out(self, vpn: int) -> None:
+        self._residence_order.pop(vpn, None)
+
+    # ------------------------------------------------------------------
+    def over_threshold(self, gps: int) -> bool:
+        return self.pressure.pressure(gps) > self.threshold
+
+    def make_room(self, gps: int, force: bool = False, exclude=()) -> Optional[int]:
+        """Swap out one page of global set ``gps``.
+
+        Normally acts only above the threshold; ``force`` swaps
+        unconditionally (the protocol's injection-overflow path).
+        ``exclude`` lists VPNs that must not be chosen (pages involved
+        in the transaction that needs the room).
+        Returns the evicted VPN (or None if under threshold), and raises
+        :class:`CapacityError` when no victim exists (every page of the
+        set is wired — cannot happen with real workloads).
+        """
+        if not force and not self.over_threshold(gps):
+            return None
+        victim = self._choose_victim(gps, exclude)
+        if victim is None:
+            raise CapacityError(f"global set {gps} needs room but has no victim")
+        self.evict_hook(victim)
+        self.note_page_out(victim)
+        self.pressure.free_page(gps)
+        self.swapped_out += 1
+        return victim
+
+    def _choose_victim(self, gps: int, exclude=()) -> Optional[int]:
+        candidates = []
+        excluded = set(exclude)
+        for table in self.page_tables:
+            for entry in table.entries_in_set(gps):
+                if entry.vpn in excluded:
+                    continue
+                order = self._residence_order.get(entry.vpn, 0)
+                candidates.append((entry.referenced, order, entry.vpn))
+        if not candidates:
+            return None
+        # Not-referenced pages first, then oldest residence.
+        candidates.sort()
+        return candidates[0][2]

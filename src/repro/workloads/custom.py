@@ -1,0 +1,54 @@
+"""User-defined workloads: plug your own reference streams into the
+machine.
+
+Downstream users rarely want the six SPLASH-2 clones; they want to ask
+"what would *my* access pattern cost under each translation scheme?".
+:class:`CustomWorkload` takes segment declarations plus a stream factory
+(a callable ``(node, ctx) -> iterator of (op, value)``) and behaves like
+any built-in workload — see ``examples/custom_workload.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Sequence
+
+from repro.common.params import MachineParams
+from repro.workloads.base import Event, SegmentSpec, Workload, WorkloadContext
+
+#: Stream factory signature: called once per node per run.
+StreamFactory = Callable[[int, WorkloadContext], Iterator[Event]]
+
+
+class CustomWorkload(Workload):
+    """A workload assembled from user-provided parts.
+
+    Parameters
+    ----------
+    segments:
+        Segment declarations (sizes may be computed by the caller from
+        :class:`~repro.common.params.MachineParams` beforehand).
+    stream_factory:
+        ``(node, ctx) -> iterator of (op, value)`` producing each node's
+        reference stream.  Must be deterministic and restartable (it is
+        invoked once per run).
+    """
+
+    def __init__(
+        self,
+        segments: Sequence[SegmentSpec],
+        stream_factory: StreamFactory,
+        name: str = "custom",
+        think_cycles: int = 4,
+    ) -> None:
+        if not segments:
+            raise ValueError("a workload needs at least one segment")
+        self._segments = list(segments)
+        self._stream_factory = stream_factory
+        self.name = name
+        self.think_cycles = think_cycles
+
+    def segment_specs(self, params: MachineParams) -> List[SegmentSpec]:
+        return list(self._segments)
+
+    def node_stream(self, node: int, ctx: WorkloadContext) -> Iterator[Event]:
+        return self._stream_factory(node, ctx)

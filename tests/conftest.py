@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite.
+
+Configurations are aggressively scaled down (tiny memories, 256-byte
+pages) so individual tests run in milliseconds while keeping the
+paper's geometry: direct-mapped write-through FLC, 4-way write-back
+SLC, 4-way attraction memory, power-of-two everything.
+"""
+
+import pytest
+
+from repro import MachineParams, Scheme, make_workload
+from repro.common.address import AddressLayout
+
+
+@pytest.fixture
+def tiny_params():
+    """2 nodes, 16 KB attraction memories — protocol-level tests."""
+    return MachineParams.scaled_down(factor=256, nodes=2, page_size=256)
+
+
+@pytest.fixture
+def small_params():
+    """4 nodes, 64 KB attraction memories — system-level tests."""
+    return MachineParams.scaled_down(factor=64, nodes=4, page_size=256)
+
+
+@pytest.fixture
+def small_layout(small_params):
+    return AddressLayout.from_params(small_params)
+
+
+@pytest.fixture
+def tiny_layout(tiny_params):
+    return AddressLayout.from_params(tiny_params)
+
+
+@pytest.fixture(params=["radix", "fft", "fmm", "ocean", "raytrace", "barnes"])
+def workload_name(request):
+    return request.param
+
+
+def make_light_workload(name: str):
+    """A low-intensity instance of a registered workload for fast runs."""
+    return make_workload(name, intensity=0.2)

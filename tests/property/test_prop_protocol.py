@@ -1,0 +1,108 @@
+"""Property tests: random transaction sequences preserve the COMA-F
+coherence invariants (single master, directory/AM agreement)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MachineParams
+from repro.common.address import AddressLayout
+from repro.common.errors import CapacityError
+from repro.coma.protocol import ProtocolEngine
+from repro.coma.states import AMState
+from repro.interconnect.crossbar import Crossbar
+
+PARAMS = MachineParams.scaled_down(factor=256, nodes=2, page_size=256)
+LAYOUT = AddressLayout.from_params(PARAMS)
+BLOCK = 1 << LAYOUT.block_bits
+
+# A pool of blocks across several pages/colors (kept well under the
+# global-set capacity so injection always finds room).
+PAGES = list(range(6))
+BLOCK_POOL = [
+    (vpn << LAYOUT.page_bits) + b * BLOCK
+    for vpn in PAGES
+    for b in range(LAYOUT.blocks_per_page)
+]
+
+ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=PARAMS.nodes - 1),
+        st.sampled_from(BLOCK_POOL),
+        st.booleans(),  # is_write
+    ),
+    max_size=120,
+)
+
+
+def fresh_engine():
+    engine = ProtocolEngine(PARAMS, LAYOUT, Crossbar(PARAMS))
+    for block in BLOCK_POOL:
+        engine.preload_block(block)
+    return engine
+
+
+@given(sequence=ops)
+@settings(max_examples=80, deadline=None)
+def test_invariants_hold_after_every_transaction(sequence):
+    engine = fresh_engine()
+    for node, block, is_write in sequence:
+        engine.fetch(node, block, is_write, now=0)
+        engine.check_invariants()
+
+
+@given(sequence=ops)
+@settings(max_examples=80, deadline=None)
+def test_every_block_keeps_exactly_one_master(sequence):
+    engine = fresh_engine()
+    for node, block, is_write in sequence:
+        engine.fetch(node, block, is_write, now=0)
+    for block in BLOCK_POOL:
+        home = engine.home_of(block)
+        owner = engine.directories[home].entry(block).owner
+        assert owner is not None
+        assert engine.ams[owner].state_of(block).is_master
+        masters = [
+            n
+            for n in range(PARAMS.nodes)
+            if engine.ams[n].state_of(block).is_master
+        ]
+        assert masters == [owner]
+
+
+@given(sequence=ops)
+@settings(max_examples=60, deadline=None)
+def test_write_leaves_single_exclusive_copy(sequence):
+    engine = fresh_engine()
+    for node, block, is_write in sequence:
+        engine.fetch(node, block, is_write, now=0)
+        if is_write:
+            holders = [
+                n
+                for n in range(PARAMS.nodes)
+                if engine.ams[n].contains(block)
+            ]
+            assert holders == [node]
+            assert engine.ams[node].state_of(block) is AMState.EXCLUSIVE
+
+
+@given(sequence=ops)
+@settings(max_examples=60, deadline=None)
+def test_fetch_guarantees_local_readability(sequence):
+    engine = fresh_engine()
+    for node, block, is_write in sequence:
+        engine.fetch(node, block, is_write, now=0)
+        state = engine.ams[node].state_of(block)
+        assert state.readable
+        if is_write:
+            assert state.writable
+
+
+@given(sequence=ops)
+@settings(max_examples=40, deadline=None)
+def test_outcome_cycles_positive_and_translation_bounded(sequence):
+    engine = fresh_engine()
+    for node, block, is_write in sequence:
+        outcome = engine.fetch(node, block, is_write, now=0)
+        assert outcome.cycles >= PARAMS.am_hit_latency
+        assert 0 <= outcome.translation <= outcome.cycles

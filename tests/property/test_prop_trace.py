@@ -1,0 +1,91 @@
+"""Property tests: trace record/replay round-trips arbitrary streams."""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CustomWorkload, Machine, MachineParams, Scheme, SegmentSpec
+from repro.system.refs import BARRIER, READ, WRITE
+from repro.workloads import TraceWorkload, record_trace
+
+PARAMS = MachineParams.scaled_down(factor=256, nodes=2, page_size=256)
+PAGES = 8
+
+events = st.lists(
+    st.one_of(
+        st.tuples(
+            st.sampled_from([READ, WRITE]),
+            st.integers(min_value=0, max_value=PAGES * PARAMS.page_size - 1),
+        ),
+    ),
+    min_size=1,
+    max_size=60,
+)
+node_streams = st.lists(events, min_size=PARAMS.nodes, max_size=PARAMS.nodes)
+
+
+def machine_for(streams):
+    def factory(node, ctx):
+        base = ctx.segment("data").base
+        for op, offset in streams[node]:
+            yield op, base + offset
+
+    workload = CustomWorkload(
+        [SegmentSpec("data", PAGES * PARAMS.page_size)], factory, name="tprop"
+    )
+    return Machine(PARAMS, Scheme.V_COMA, workload), workload
+
+
+@given(streams=node_streams)
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_preserves_ops_and_relative_layout(streams):
+    machine, workload = machine_for(streams)
+    buffer = io.StringIO()
+    record_trace(workload, machine.ctx, buffer)
+    replayed = TraceWorkload(buffer.getvalue())
+    replay_machine = Machine(PARAMS, Scheme.V_COMA, replayed)
+
+    original_base = machine.space["data"].base
+    for node in range(PARAMS.nodes):
+        original = [(op, v - original_base) for op, v in machine.node_stream(node)]
+        got = list(replay_machine.node_stream(node))
+        assert [op for op, _ in got] == [op for op, _ in original]
+        # Relative offsets are preserved up to one common rebase.
+        orig_addrs = [v for _, v in original]
+        got_addrs = [v for _, v in got]
+        if orig_addrs:
+            lowest_page = min(orig_addrs) // PARAMS.page_size * PARAMS.page_size
+            deltas_orig = [v - lowest_page for v in orig_addrs]
+            base2 = min(
+                a // PARAMS.page_size * PARAMS.page_size
+                for node2 in range(PARAMS.nodes)
+                for _, a in replay_machine.node_stream(node2)
+            )
+            # Global rebase: same shift for every node.
+            global_low = min(
+                v
+                for node2 in range(PARAMS.nodes)
+                for _, v in machine.node_stream(node2)
+            ) - original_base
+            global_low_page = (global_low + original_base) // PARAMS.page_size
+            shift = (
+                replay_machine.space["trace"].base
+                - global_low_page * PARAMS.page_size
+            )
+            assert got_addrs == [v + original_base + shift for v in orig_addrs]
+
+
+@given(streams=node_streams)
+@settings(max_examples=30, deadline=None)
+def test_replay_is_simulatable(streams):
+    from repro import Simulator
+
+    machine, workload = machine_for(streams)
+    buffer = io.StringIO()
+    record_trace(workload, machine.ctx, buffer)
+    replayed = TraceWorkload(buffer.getvalue())
+    replay_machine = Machine(PARAMS, Scheme.V_COMA, replayed)
+    result = Simulator(replay_machine).run()
+    replay_machine.engine.check_invariants()
+    assert result.total_references == sum(len(s) for s in streams)

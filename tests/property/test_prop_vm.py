@@ -1,0 +1,112 @@
+"""Property tests: virtual-memory substrate invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MachineParams
+from repro.common.address import AddressLayout
+from repro.common.errors import CapacityError
+from repro.vm.frames import FrameAllocator
+from repro.vm.pressure import PressureTracker
+from repro.vm.segments import SegmentedAddressSpace
+
+PARAMS = MachineParams.scaled_down(factor=64, nodes=4, page_size=256)
+LAYOUT = AddressLayout.from_params(PARAMS)
+
+
+# ----------------------------------------------------------------------
+# segments
+# ----------------------------------------------------------------------
+segment_requests = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=1 << 16),  # size
+        st.sampled_from([None, 256, 512, 4096]),  # alignment
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+@given(requests=segment_requests)
+@settings(max_examples=150, deadline=None)
+def test_segments_disjoint_aligned_and_ordered(requests):
+    space = SegmentedAddressSpace(page_size=256)
+    segments = [
+        space.allocate(f"s{i}", size, alignment=align)
+        for i, (size, align) in enumerate(requests)
+    ]
+    for i, segment in enumerate(segments):
+        align = requests[i][1] or 256
+        assert segment.base % align == 0
+        if i:
+            assert segment.base >= segments[i - 1].end
+    # segment_of finds exactly the covering segment
+    for segment in segments:
+        assert space.segment_of(segment.base) is segment
+        assert space.segment_of(segment.end - 1) is segment
+
+
+# ----------------------------------------------------------------------
+# frames
+# ----------------------------------------------------------------------
+@given(
+    vpns=st.lists(st.integers(min_value=0, max_value=1 << 16), unique=True, min_size=1, max_size=200),
+    coloring=st.booleans(),
+)
+@settings(max_examples=100, deadline=None)
+def test_frame_allocation_unique_and_colored(vpns, coloring):
+    alloc = FrameAllocator(LAYOUT, PARAMS.pages_per_am, coloring=coloring)
+    seen = set()
+    for vpn in vpns:
+        try:
+            pfn = alloc.allocate(vpn)
+        except CapacityError:
+            break
+        assert pfn not in seen
+        seen.add(pfn)
+        assert 0 <= alloc.home_of(pfn) < PARAMS.nodes
+        if coloring:
+            assert alloc.color_of(pfn) == vpn % LAYOUT.global_page_sets
+
+
+@given(vpns=st.lists(st.integers(min_value=0, max_value=1 << 10), unique=True, min_size=2, max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_freed_frames_are_recycled(vpns):
+    alloc = FrameAllocator(LAYOUT, PARAMS.pages_per_am)
+    pfns = [alloc.allocate(v) for v in vpns]
+    for pfn in pfns:
+        alloc.free(pfn)
+    again = [alloc.allocate(v + (1 << 20)) for v in vpns]
+    assert set(again) == set(pfns)
+
+
+# ----------------------------------------------------------------------
+# pressure
+# ----------------------------------------------------------------------
+pressure_ops = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=0, max_value=7)),
+    max_size=200,
+)
+
+
+@given(ops=pressure_ops)
+@settings(max_examples=150, deadline=None)
+def test_pressure_bookkeeping_consistent(ops):
+    tracker = PressureTracker(global_page_sets=8, slots_per_set=4)
+    model = [0] * 8
+    for is_alloc, gps in ops:
+        if is_alloc:
+            if model[gps] + 1 > 4:
+                continue
+            tracker.allocate_page(gps)
+            model[gps] += 1
+        else:
+            if model[gps] == 0:
+                continue
+            tracker.free_page(gps)
+            model[gps] -= 1
+        assert tracker.occupancy(gps) == model[gps]
+        assert 0.0 <= tracker.pressure(gps) <= 1.0
+        assert tracker.peak[gps] >= model[gps]
+    profile = tracker.profile()
+    assert profile == [m / 4 for m in model]

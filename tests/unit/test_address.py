@@ -1,0 +1,86 @@
+"""AddressLayout field decomposition (paper Figure 6)."""
+
+import pytest
+
+from repro import MachineParams
+from repro.common.address import AddressLayout
+
+
+@pytest.fixture
+def paper_layout():
+    return AddressLayout.from_params(MachineParams.paper_baseline())
+
+
+class TestPaperLayout:
+    def test_bit_widths(self, paper_layout):
+        lay = paper_layout
+        assert lay.block_bits == 7  # 128 B blocks
+        assert lay.page_bits == 12  # 4 KB pages
+        assert lay.node_bits == 5  # 32 nodes
+        assert lay.am_set_bits == 13  # 8192 sets
+
+    def test_blocks_per_page(self, paper_layout):
+        assert paper_layout.blocks_per_page == 32
+
+    def test_global_page_sets(self, paper_layout):
+        # s + b - n = 13 + 7 - 12 = 8 -> 256 colors.
+        assert paper_layout.global_page_set_bits == 8
+        assert paper_layout.global_page_sets == 256
+
+
+class TestFields:
+    def test_home_node_is_low_page_bits(self, small_layout):
+        addr = small_layout.make_address(vpn=0b101101, offset=17)
+        assert small_layout.home_node(addr) == 0b101101 % small_layout.nodes
+
+    def test_vpn_offset_roundtrip(self, small_layout):
+        addr = small_layout.make_address(vpn=1234, offset=99)
+        assert small_layout.vpn(addr) == 1234
+        assert small_layout.page_offset(addr) == 99
+        assert small_layout.page_base(addr) == 1234 * small_layout.page_size
+
+    def test_make_address_bounds_check(self, small_layout):
+        with pytest.raises(ValueError):
+            small_layout.make_address(vpn=1, offset=small_layout.page_size)
+
+    def test_block_base_masks_offset(self, small_layout):
+        block_size = 1 << small_layout.block_bits
+        addr = 5 * block_size + 17
+        assert small_layout.block_base(addr) == 5 * block_size
+
+    def test_am_set_index_consecutive_blocks(self, small_layout):
+        block = 1 << small_layout.block_bits
+        s0 = small_layout.am_set_index(0)
+        s1 = small_layout.am_set_index(block)
+        assert s1 == (s0 + 1) % small_layout.am_sets
+
+    def test_page_spans_consecutive_sets(self, small_layout):
+        vpn = 7
+        sets = list(small_layout.page_am_sets(vpn))
+        assert len(sets) == small_layout.blocks_per_page
+        assert sets == list(range(sets[0], sets[0] + len(sets)))
+
+    def test_directory_entry_index_within_page(self, small_layout):
+        base = small_layout.make_address(vpn=3)
+        block = 1 << small_layout.block_bits
+        for i in range(small_layout.blocks_per_page):
+            assert small_layout.directory_entry_index(base + i * block) == i
+
+    def test_global_page_set_periodic(self, small_layout):
+        g = small_layout.global_page_sets
+        for vpn in (0, 1, g - 1, g, 2 * g + 3):
+            addr = small_layout.make_address(vpn)
+            assert small_layout.global_page_set(addr) == vpn % g
+
+    def test_same_color_pages_share_am_sets(self, small_layout):
+        g = small_layout.global_page_sets
+        vpn_a, vpn_b = 5, 5 + g  # same color
+        sets_a = list(small_layout.page_am_sets(vpn_a))
+        sets_b = list(small_layout.page_am_sets(vpn_b))
+        assert sets_a == sets_b
+
+    def test_flc_slc_block_bases(self, small_layout):
+        addr = 0x12345
+        assert small_layout.flc_block_base(addr) % (1 << small_layout.flc_block_bits) == 0
+        assert small_layout.slc_block_base(addr) % (1 << small_layout.slc_block_bits) == 0
+        assert small_layout.flc_block_base(addr) <= addr

@@ -1,0 +1,146 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, machine_params, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+FAST = ["--nodes", "2", "--factor", "256", "--page-size", "256", "--refs", "300"]
+
+
+class TestParsing:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_machine_params_from_args(self):
+        args = build_parser().parse_args(["describe", "--nodes", "4", "--factor", "64", "--page-size", "256"])
+        params = machine_params(args)
+        assert params.nodes == 4 and params.page_size == 256
+
+    def test_paper_machine_flag(self):
+        args = build_parser().parse_args(["describe", "--paper-machine"])
+        params = machine_params(args)
+        assert params.nodes == 32 and params.am_size == 4 * 1024 * 1024
+
+    def test_unknown_workload_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "nope"] + FAST)
+
+
+class TestCommands:
+    def test_describe(self, capsys):
+        code, out = run_cli(capsys, "describe", *FAST)
+        assert code == 0
+        assert "2 nodes" in out
+
+    def test_workloads_listing(self, capsys):
+        code, out = run_cli(capsys, "workloads")
+        assert code == 0
+        for name in ("radix", "fft", "ocean"):
+            assert name in out
+
+    def test_sweep(self, capsys):
+        code, out = run_cli(
+            capsys, "sweep", "ocean", "--sizes", "8,32", "--intensity", "0.1", *FAST
+        )
+        assert code == 0
+        assert "V-COMA" in out and "L2-TLB/no_wback" in out
+
+    def test_sweep_with_dm(self, capsys):
+        code, out = run_cli(
+            capsys, "sweep", "ocean", "--sizes", "8", "--dm", "--intensity", "0.1", *FAST
+        )
+        assert code == 0
+        assert "/DM" in out
+
+    def test_timing(self, capsys):
+        code, out = run_cli(
+            capsys, "timing", "barnes", "--scheme", "L0-TLB", "--entries", "8",
+            "--intensity", "0.1", *FAST
+        )
+        assert code == 0
+        assert "translation" in out and "misses" in out
+
+    def test_table2(self, capsys):
+        code, out = run_cli(
+            capsys, "table2", "ocean", "--intensity", "0.1", *FAST
+        )
+        assert code == 0
+        assert "Table 2" in out and "OCEAN" in out
+
+    def test_table3(self, capsys):
+        code, out = run_cli(
+            capsys, "table3", "ocean", "--intensity", "0.1", *FAST
+        )
+        assert code == 0
+        assert "Table 3" in out
+
+    def test_table4(self, capsys):
+        code, out = run_cli(
+            capsys, "table4", "barnes", "--intensity", "0.1", *FAST
+        )
+        assert code == 0
+        assert "Table 4" in out and "DLB/16" in out
+
+    def test_pressure(self, capsys):
+        code, out = run_cli(capsys, "pressure", "fft", *FAST)
+        assert code == 0
+        assert "Pressure Profile" in out
+
+    def test_pressure_raytrace_v2(self, capsys):
+        code, out = run_cli(capsys, "pressure", "raytrace", "--v2", *FAST)
+        assert code == 0
+        assert "mean=" in out
+
+
+class TestReportCommand:
+    def test_report_writes_file(self, capsys, tmp_path):
+        out_file = tmp_path / "report.md"
+        code, out = run_cli(
+            capsys, "report", "ocean", "--out", str(out_file),
+            "--no-figures", *FAST
+        )
+        assert code == 0
+        text = out_file.read_text()
+        assert "Table 2" in text and "Table 4" in text
+        assert "Figure 8" not in text  # --no-figures
+
+    def test_report_with_figures(self, capsys, tmp_path):
+        out_file = tmp_path / "report.md"
+        code, out = run_cli(
+            capsys, "report", "barnes", "--out", str(out_file), *FAST
+        )
+        assert code == 0
+        text = out_file.read_text()
+        assert "Figure 8" in text and "Figure 11" in text
+
+
+class TestTraceCommands:
+    def test_trace_then_replay(self, capsys, tmp_path):
+        trace_file = tmp_path / "barnes.trace"
+        code, out = run_cli(
+            capsys, "trace", "barnes", "--out", str(trace_file),
+            "--intensity", "0.1", *FAST
+        )
+        assert code == 0 and "events" in out
+        assert trace_file.read_text().startswith("#repro-trace")
+
+        code, out = run_cli(
+            capsys, "replay", str(trace_file), "--scheme", "L0-TLB", *FAST
+        )
+        assert code == 0
+        assert "translation" in out
+
+    def test_profile_command(self, capsys):
+        code, out = run_cli(
+            capsys, "profile", "radix", "--intensity", "0.1", *FAST
+        )
+        assert code == 0
+        assert "keys_out" in out and "writes%" in out

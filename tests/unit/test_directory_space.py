@@ -1,0 +1,67 @@
+"""DirectoryAddressSpace allocation/reclaim."""
+
+import pytest
+
+from repro import CapacityError, DirectoryAddressSpace
+from repro.core.directory_space import DirectoryPageHandle
+
+
+class TestAllocation:
+    def test_pages_are_disjoint_and_dense(self):
+        space = DirectoryAddressSpace(entries_per_page=16)
+        a = space.allocate()
+        b = space.allocate()
+        assert a.base == 0 and b.base == 16
+        assert a.entries == 16
+
+    def test_entry_addresses(self):
+        space = DirectoryAddressSpace(entries_per_page=8)
+        page = space.allocate()
+        assert page.entry_address(0) == page.base
+        assert page.entry_address(7) == page.base + 7
+        with pytest.raises(IndexError):
+            page.entry_address(8)
+
+    def test_reclaim_reuses_space(self):
+        space = DirectoryAddressSpace(entries_per_page=4)
+        a = space.allocate()
+        space.allocate()
+        space.reclaim(a)
+        c = space.allocate()
+        assert c.base == a.base  # reclaimed space reused first
+        assert space.allocated_pages == 2
+
+    def test_reclaim_unknown_raises(self):
+        space = DirectoryAddressSpace(entries_per_page=4)
+        with pytest.raises(KeyError):
+            space.reclaim(DirectoryPageHandle(base=123, entries=4))
+
+    def test_capacity_enforced(self):
+        space = DirectoryAddressSpace(entries_per_page=4, capacity_pages=2)
+        space.allocate()
+        space.allocate()
+        with pytest.raises(CapacityError):
+            space.allocate()
+
+    def test_capacity_freed_by_reclaim(self):
+        space = DirectoryAddressSpace(entries_per_page=4, capacity_pages=1)
+        page = space.allocate()
+        space.reclaim(page)
+        space.allocate()  # must not raise
+
+    def test_is_allocated(self):
+        space = DirectoryAddressSpace(entries_per_page=4)
+        page = space.allocate()
+        assert space.is_allocated(page.base)
+        space.reclaim(page)
+        assert not space.is_allocated(page.base)
+
+    def test_invalid_entries_per_page(self):
+        with pytest.raises(ValueError):
+            DirectoryAddressSpace(entries_per_page=0)
+
+    def test_len_tracks_allocations(self):
+        space = DirectoryAddressSpace(entries_per_page=4)
+        assert len(space) == 0
+        space.allocate()
+        assert len(space) == 1

@@ -1,0 +1,111 @@
+"""DirectoryLookasideBuffer: translation caching + R/M bits."""
+
+import pytest
+
+from repro import TranslationFault
+from repro.core.dlb import DirectoryLookasideBuffer
+
+
+def make_dlb(entries=4, table=None):
+    table = table if table is not None else {}
+
+    def resolver(vpn):
+        if vpn not in table:
+            raise TranslationFault(f"vpn {vpn}")
+        return table[vpn]
+
+    return DirectoryLookasideBuffer(entries, resolver), table
+
+
+class TestTranslate:
+    def test_miss_then_hit(self):
+        dlb, table = make_dlb()
+        table[7] = 700
+        base, hit = dlb.translate(7)
+        assert (base, hit) == (700, False)
+        base, hit = dlb.translate(7)
+        assert (base, hit) == (700, True)
+        assert dlb.misses == 1 and dlb.hits == 1
+
+    def test_unmapped_page_faults(self):
+        dlb, _ = make_dlb()
+        with pytest.raises(TranslationFault):
+            dlb.translate(99)
+
+    def test_eviction_reresolves(self):
+        dlb, table = make_dlb(entries=2)
+        table.update({1: 10, 2: 20, 3: 30})
+        dlb.translate(1)
+        dlb.translate(2)
+        dlb.translate(3)  # evicts 1 or 2
+        survivors = [v for v in (1, 2) if dlb.contains(v)]
+        assert len(survivors) == 1
+        # Payload stays consistent for whatever is resident.
+        base, hit = dlb.translate(survivors[0])
+        assert hit is True and base == table[survivors[0]]
+
+    def test_payload_garbage_collected(self):
+        dlb, table = make_dlb(entries=2)
+        for vpn in range(10):
+            table[vpn] = vpn * 10
+            dlb.translate(vpn)
+        assert len(dlb._payload) <= 2
+
+    def test_miss_rate(self):
+        dlb, table = make_dlb()
+        table[1] = 1
+        dlb.translate(1)
+        dlb.translate(1)
+        assert dlb.miss_rate == pytest.approx(0.5)
+
+
+class TestMetadata:
+    def test_reference_bit_set_on_translate(self):
+        dlb, table = make_dlb()
+        table[5] = 50
+        assert not dlb.referenced(5)
+        dlb.translate(5)
+        assert dlb.referenced(5)
+
+    def test_modify_bit_only_for_ownership(self):
+        dlb, table = make_dlb()
+        table[5] = 50
+        dlb.translate(5)
+        assert not dlb.modified(5)
+        dlb.translate(5, for_ownership=True)
+        assert dlb.modified(5)
+
+    def test_clear_reference_bits(self):
+        dlb, table = make_dlb()
+        table[5] = 50
+        dlb.translate(5, for_ownership=True)
+        dlb.clear_reference_bits()
+        assert not dlb.referenced(5)
+        assert dlb.modified(5)  # modify bits survive the periodic reset
+
+
+class TestInvalidation:
+    def test_invalidate_removes_payload(self):
+        dlb, table = make_dlb()
+        table[3] = 30
+        dlb.translate(3)
+        assert dlb.invalidate(3) is True
+        assert not dlb.contains(3)
+        # Next translate walks the table again.
+        _, hit = dlb.translate(3)
+        assert hit is False
+
+    def test_flush(self):
+        dlb, table = make_dlb()
+        table.update({1: 10, 2: 20})
+        dlb.translate(1)
+        dlb.translate(2)
+        dlb.flush()
+        assert not dlb.contains(1) and not dlb.contains(2)
+
+    def test_reset_stats(self):
+        dlb, table = make_dlb()
+        table[1] = 10
+        dlb.translate(1)
+        dlb.reset_stats()
+        assert dlb.accesses == 0 and dlb.misses == 0

@@ -1,0 +1,103 @@
+"""Round-robin frame allocation and page coloring."""
+
+import pytest
+
+from repro import CapacityError, ConfigurationError
+from repro.vm.frames import FrameAllocator
+
+
+@pytest.fixture
+def frames(small_layout, small_params):
+    return FrameAllocator(small_layout, small_params.pages_per_am)
+
+
+@pytest.fixture
+def colored(small_layout, small_params):
+    return FrameAllocator(small_layout, small_params.pages_per_am, coloring=True)
+
+
+class TestRoundRobin:
+    def test_sequential_pfns_cycle_homes(self, frames, small_layout):
+        homes = [frames.home_of(frames.allocate(vpn)) for vpn in range(8)]
+        assert homes == [i % small_layout.nodes for i in range(8)]
+
+    def test_colors_cycle_uniformly(self, frames, small_layout):
+        g = small_layout.global_page_sets
+        colors = [frames.color_of(frames.allocate(vpn)) for vpn in range(2 * g)]
+        assert colors == [i % g for i in range(2 * g)]
+
+    def test_capacity(self, small_layout):
+        tiny = FrameAllocator(small_layout, frames_per_node=small_layout.global_page_sets)
+        for vpn in range(tiny.total_frames):
+            tiny.allocate(vpn)
+        with pytest.raises(CapacityError):
+            tiny.allocate(9999)
+
+    def test_free_and_reuse(self, frames):
+        pfn = frames.allocate(1)
+        frames.free(pfn)
+        assert frames.allocate(2) == pfn
+
+    def test_free_unallocated_raises(self, frames):
+        with pytest.raises(KeyError):
+            frames.free(12345)
+
+    def test_vpn_tracking(self, frames):
+        pfn = frames.allocate(0x42)
+        assert frames.vpn_of(pfn) == 0x42
+
+    def test_physical_address(self, frames, small_layout):
+        pfn = frames.allocate(1)
+        addr = frames.physical_address(pfn, 17)
+        assert addr == (pfn << small_layout.page_bits) | 17
+
+
+class TestColoring:
+    def test_color_matches_virtual(self, colored, small_layout):
+        g = small_layout.global_page_sets
+        for vpn in (3, g + 3, 7):
+            pfn = colored.allocate(vpn)
+            assert colored.color_of(pfn) == vpn % g
+
+    def test_explicit_color_override(self, colored, small_layout):
+        pfn = colored.allocate(5, color=2)
+        assert colored.color_of(pfn) == 2
+
+    def test_bad_color_rejected(self, colored, small_layout):
+        with pytest.raises(ConfigurationError):
+            colored.allocate(1, color=small_layout.global_page_sets)
+
+    def test_per_color_capacity(self, small_layout):
+        alloc = FrameAllocator(
+            small_layout, frames_per_node=small_layout.global_page_sets, coloring=True
+        )
+        per_color = alloc.frames_per_color
+        for i in range(per_color):
+            alloc.allocate(i * small_layout.global_page_sets)  # all color 0
+        with pytest.raises(CapacityError):
+            alloc.allocate(per_color * small_layout.global_page_sets)
+
+    def test_colored_free_reuses_same_color(self, colored, small_layout):
+        g = small_layout.global_page_sets
+        pfn = colored.allocate(3)
+        colored.free(pfn)
+        again = colored.allocate(g + 3)  # same color
+        assert again == pfn
+
+    def test_home_forced_when_colors_cover_nodes(self, colored, small_layout):
+        # G >= P: home is the color's low node bits.
+        g = small_layout.global_page_sets
+        assert g >= small_layout.nodes
+        vpn = 5
+        pfn = colored.allocate(vpn)
+        assert colored.home_of(pfn) == vpn % small_layout.nodes
+
+
+class TestValidation:
+    def test_frames_must_be_positive(self, small_layout):
+        with pytest.raises(ConfigurationError):
+            FrameAllocator(small_layout, 0)
+
+    def test_frames_must_cover_colors(self, small_layout):
+        with pytest.raises(ConfigurationError):
+            FrameAllocator(small_layout, small_layout.global_page_sets + 1)

@@ -1,0 +1,202 @@
+"""Node: cache plumbing, latency charging, inclusion."""
+
+import pytest
+
+from repro import CustomWorkload, Machine, Scheme, SegmentSpec
+from repro.cache.cache import CLEAN_SHARED, DIRTY
+from repro.coma.states import AMState
+from repro.system.refs import READ
+
+
+def build_machine(params, scheme=Scheme.V_COMA, pages=16):
+    def stream(node, ctx):
+        return iter(())
+
+    workload = CustomWorkload(
+        [SegmentSpec("data", pages * params.page_size)], stream, name="noop"
+    )
+    return Machine(params, scheme, workload)
+
+
+@pytest.fixture
+def machine(small_params):
+    return build_machine(small_params)
+
+
+def data_addr(machine, offset=0):
+    return machine.space["data"].base + offset
+
+
+class TestReadPath:
+    def test_first_read_costs_am_or_remote(self, machine):
+        node = machine.nodes[0]
+        addr = data_addr(machine)
+        cycles = node.reference(False, addr, now=0)
+        assert cycles >= machine.params.am_hit_latency
+
+    def test_second_read_is_flc_hit(self, machine):
+        node = machine.nodes[0]
+        addr = data_addr(machine)
+        node.reference(False, addr, now=0)
+        assert node.reference(False, addr, now=100) == 0
+        assert node.counters["reads"] == 2
+
+    def test_flc_block_neighbourhood_hits(self, machine):
+        node = machine.nodes[0]
+        addr = data_addr(machine)
+        node.reference(False, addr, now=0)
+        # Same 32 B FLC block: free; next FLC block within the same SLC
+        # block: SLC hit (6 cycles).
+        assert node.reference(False, addr + 8, now=0) == 0
+        cost = node.reference(False, addr + machine.params.flc_block, now=0)
+        assert cost == machine.params.slc_hit_latency
+
+    def test_breakdown_attribution_local(self, machine):
+        # Address homed at node 0 -> local AM hit for node 0.
+        layout = machine.layout
+        segment = machine.space["data"]
+        addr = next(
+            segment.base + i * machine.params.page_size
+            for i in range(8)
+            if layout.home_node(segment.base + i * machine.params.page_size) == 0
+        )
+        node = machine.nodes[0]
+        node.reference(False, addr, now=0)
+        assert node.breakdown.loc_stall >= machine.params.am_hit_latency
+        assert node.breakdown.rem_stall == 0
+
+    def test_breakdown_attribution_remote(self, machine):
+        layout = machine.layout
+        segment = machine.space["data"]
+        addr = next(
+            segment.base + i * machine.params.page_size
+            for i in range(8)
+            if layout.home_node(segment.base + i * machine.params.page_size) != 0
+        )
+        node = machine.nodes[0]
+        node.reference(False, addr, now=0)
+        assert node.breakdown.rem_stall > machine.params.block_msg_cycles
+
+
+class TestWritePath:
+    def test_write_fetches_exclusive(self, machine):
+        node = machine.nodes[0]
+        addr = data_addr(machine)
+        node.reference(True, addr, now=0)
+        assert machine.engine.ams[0].state_of(addr) is AMState.EXCLUSIVE
+        assert node.slc.state_of(addr) == DIRTY
+
+    def test_write_hit_on_dirty_costs_slc(self, machine):
+        node = machine.nodes[0]
+        addr = data_addr(machine)
+        node.reference(True, addr, now=0)
+        assert node.reference(True, addr, now=0) == machine.params.slc_hit_latency
+
+    def test_read_after_own_write_free(self, machine):
+        node = machine.nodes[0]
+        addr = data_addr(machine)
+        node.reference(True, addr, now=0)
+        node.reference(False, addr, now=0)
+        # FLC was not filled by the write (no-write-allocate), so the
+        # read pays an SLC hit, then later reads are free.
+        assert node.reference(False, addr, now=0) == 0
+
+    def test_write_to_read_shared_upgrades(self, machine):
+        node = machine.nodes[0]
+        addr = data_addr(machine)
+        node.reference(False, addr, now=0)  # read: shared in SLC
+        before = machine.engine.counters["upgrades"]
+        node.reference(True, addr, now=0)
+        assert machine.engine.counters["upgrades"] == before + 1
+        assert node.slc.state_of(addr) == DIRTY
+
+    def test_exclusive_slc_fill_allows_silent_write(self, machine):
+        node = machine.nodes[0]
+        addr = data_addr(machine)
+        node.reference(True, addr, now=0)  # EX in AM, DIRTY in SLC
+        # Evict the SLC block by filling its set, then read it back:
+        # the refill sees the AM still EXCLUSIVE -> CLEAN_EXCLUSIVE,
+        # and the next write needs no upgrade transaction.
+        slc = node.slc
+        set_stride = slc.sets * slc.block_size
+        for i in range(1, slc.assoc + 1):
+            node.reference(False, addr + i * set_stride, now=0)
+        assert not slc.contains(addr)
+        node.reference(False, addr, now=0)
+        before = machine.engine.counters["upgrades"]
+        node.reference(True, addr, now=0)
+        assert machine.engine.counters["upgrades"] == before
+
+
+class TestWritebacks:
+    def test_dirty_eviction_writes_back(self, machine):
+        node = machine.nodes[0]
+        addr = data_addr(machine)
+        node.reference(True, addr, now=0)
+        slc = node.slc
+        set_stride = slc.sets * slc.block_size
+        for i in range(1, slc.assoc + 1):
+            node.reference(False, addr + i * set_stride, now=0)
+        assert node.counters["slc_writebacks"] == 1
+        assert machine.engine.counters["slc_writebacks_to_am"] == 1
+
+    def test_inclusion_flc_invalidated_on_slc_eviction(self, machine):
+        node = machine.nodes[0]
+        addr = data_addr(machine)
+        node.reference(False, addr, now=0)
+        assert node.flc.contains(addr)
+        slc = node.slc
+        set_stride = slc.sets * slc.block_size
+        for i in range(1, slc.assoc + 1):
+            node.reference(False, addr + i * set_stride, now=0)
+        assert not slc.contains(addr)
+        assert not node.flc.contains(addr)
+
+
+class TestCoherenceInclusion:
+    def test_remote_write_invalidates_caches(self, machine):
+        addr = data_addr(machine)
+        machine.nodes[0].reference(False, addr, now=0)
+        assert machine.nodes[0].flc.contains(addr)
+        machine.nodes[1].reference(True, addr, now=0)
+        assert not machine.nodes[0].flc.contains(addr)
+        assert not machine.nodes[0].slc.contains(addr)
+        assert machine.engine.ams[0].state_of(addr) is AMState.INVALID
+
+    def test_remote_read_downgrades_writer(self, machine):
+        addr = data_addr(machine)
+        machine.nodes[0].reference(True, addr, now=0)  # dirty at node 0
+        machine.nodes[1].reference(False, addr, now=0)
+        # Node 0 keeps a read-only copy; dirty data drained to the AM.
+        assert machine.nodes[0].slc.state_of(addr) == CLEAN_SHARED
+        assert machine.engine.ams[0].state_of(addr) is AMState.MASTER_SHARED
+        assert machine.nodes[0].counters["slc_coherence_writebacks"] == 1
+
+    def test_downgraded_copy_still_readable_locally(self, machine):
+        addr = data_addr(machine)
+        machine.nodes[0].reference(True, addr, now=0)
+        machine.nodes[1].reference(False, addr, now=0)
+        assert machine.nodes[0].reference(False, addr + 8, now=0) in (
+            0,
+            machine.params.slc_hit_latency,
+        )
+
+
+class TestPhysicalSchemes:
+    @pytest.mark.parametrize("scheme", [Scheme.L0_TLB, Scheme.L1_TLB, Scheme.L2_TLB])
+    def test_basic_read_write_roundtrip(self, small_params, scheme):
+        machine = build_machine(small_params, scheme=scheme)
+        node = machine.nodes[0]
+        addr = data_addr(machine)
+        node.reference(False, addr, now=0)
+        node.reference(True, addr, now=0)
+        assert node.reference(True, addr, now=0) == machine.params.slc_hit_latency
+        machine.engine.check_invariants()
+
+    def test_l1_flc_virtual_slc_physical(self, small_params):
+        machine = build_machine(small_params, scheme=Scheme.L1_TLB)
+        node = machine.nodes[0]
+        vaddr = data_addr(machine)
+        node.reference(False, vaddr, now=0)
+        assert node.flc.contains(vaddr)  # virtual FLC
+        assert node.slc.contains(machine._to_physical(vaddr))  # physical SLC

@@ -1,0 +1,103 @@
+"""MachineParams validation and derived geometry."""
+
+import pytest
+
+from repro import ConfigurationError, MachineParams
+
+
+class TestDefaults:
+    def test_paper_baseline_matches_section_5_1(self):
+        p = MachineParams.paper_baseline()
+        assert p.nodes == 32
+        assert p.flc_size == 16 * 1024 and p.flc_assoc == 1 and p.flc_block == 32
+        assert p.slc_size == 64 * 1024 and p.slc_assoc == 4 and p.slc_block == 64
+        assert p.am_size == 4 * 1024 * 1024 and p.am_assoc == 4 and p.am_block == 128
+        assert p.page_size == 4096
+        assert p.slc_hit_latency == 6
+        assert p.am_hit_latency == 74
+
+    def test_paper_message_costs(self):
+        p = MachineParams.paper_baseline()
+        assert p.request_msg_cycles == 16
+        assert p.block_msg_cycles == 272
+
+    def test_clock_ratio(self):
+        assert MachineParams().clock_ratio == 2
+
+    def test_global_set_geometry(self):
+        p = MachineParams.paper_baseline()
+        # 1 MB way / 4 KB pages = 256 page colors; 32 nodes * 4 ways.
+        assert p.am_way_size == 1024 * 1024
+        assert p.global_page_sets == 256
+        assert p.page_slots_per_global_set == 128
+        assert p.blocks_per_page == 32
+
+    def test_describe_mentions_nodes_and_latencies(self):
+        text = MachineParams().describe()
+        assert "32 nodes" in text
+        assert "TLB/DLB miss" in text
+
+
+class TestValidation:
+    def test_non_power_of_two_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineParams(nodes=3)
+
+    def test_non_power_of_two_cache_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineParams(flc_size=3000)
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineParams(slc_hit_latency=0)
+
+    def test_block_size_ordering_enforced(self):
+        with pytest.raises(ConfigurationError):
+            MachineParams(flc_block=256, slc_block=64)
+
+    def test_page_smaller_than_am_block_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineParams(page_size=64)
+
+    def test_am_way_must_cover_a_page(self):
+        # 8 KB AM, 4-way => 2 KB way < 4 KB page.
+        with pytest.raises(ConfigurationError):
+            MachineParams(am_size=8 * 1024, page_size=4096)
+
+    def test_clock_ratio_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            MachineParams(cpu_clock_mhz=250, network_clock_mhz=100)
+
+
+class TestScaling:
+    def test_scaled_down_preserves_geometry(self):
+        p = MachineParams.scaled_down(factor=8, nodes=8)
+        assert p.nodes == 8
+        assert p.flc_assoc == 1 and p.slc_assoc == 4 and p.am_assoc == 4
+        assert p.flc_block == 32 and p.slc_block == 64 and p.am_block == 128
+        assert p.am_size == 512 * 1024
+
+    def test_scaled_down_override(self):
+        p = MachineParams.scaled_down(factor=8, nodes=4, page_size=512)
+        assert p.page_size == 512
+
+    def test_scaled_down_rejects_bad_factor(self):
+        with pytest.raises(ConfigurationError):
+            MachineParams.scaled_down(factor=0)
+
+    def test_replace_revalidates(self):
+        p = MachineParams()
+        with pytest.raises(ConfigurationError):
+            p.replace(nodes=5)
+
+    def test_replace_changes_field(self):
+        p = MachineParams().replace(nodes=16)
+        assert p.nodes == 16
+        # original untouched (frozen dataclass)
+        assert MachineParams().nodes == 32
+
+    def test_derived_counts_consistent(self):
+        p = MachineParams.scaled_down(factor=16, nodes=4, page_size=256)
+        assert p.am_sets * p.am_block * p.am_assoc == p.am_size
+        assert p.global_page_sets * p.page_size == p.am_way_size
+        assert p.pages_per_am * p.page_size == p.am_size

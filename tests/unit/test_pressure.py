@@ -1,0 +1,75 @@
+"""Global-set pressure accounting (Figure 11 substrate)."""
+
+import pytest
+
+from repro import CapacityError, ConfigurationError
+from repro.vm.pressure import PressureTracker
+
+
+@pytest.fixture
+def tracker():
+    return PressureTracker(global_page_sets=4, slots_per_set=8)
+
+
+class TestAccounting:
+    def test_initially_empty(self, tracker):
+        assert tracker.profile() == [0.0] * 4
+        assert tracker.mean_pressure() == 0.0
+
+    def test_allocate_and_pressure(self, tracker):
+        tracker.allocate_page(0)
+        tracker.allocate_page(0)
+        assert tracker.occupancy(0) == 2
+        assert tracker.pressure(0) == pytest.approx(0.25)
+
+    def test_free(self, tracker):
+        tracker.allocate_page(1, count=3)
+        tracker.free_page(1)
+        assert tracker.occupancy(1) == 2
+
+    def test_free_more_than_occupied(self, tracker):
+        with pytest.raises(ValueError):
+            tracker.free_page(0)
+
+    def test_capacity_enforced(self, tracker):
+        tracker.allocate_page(2, count=8)
+        with pytest.raises(CapacityError):
+            tracker.allocate_page(2)
+
+    def test_exact_capacity_allowed(self, tracker):
+        tracker.allocate_page(2, count=8)
+        assert tracker.pressure(2) == 1.0
+
+    def test_set_of_vpn(self, tracker):
+        assert tracker.set_of_vpn(5) == 1
+        assert tracker.set_of_vpn(4) == 0
+
+    def test_out_of_range_set(self, tracker):
+        with pytest.raises(ConfigurationError):
+            tracker.allocate_page(4)
+
+
+class TestStatistics:
+    def test_peak_survives_free(self, tracker):
+        tracker.allocate_page(0, count=4)
+        tracker.free_page(0, count=4)
+        assert tracker.peak_profile()[0] == pytest.approx(0.5)
+        assert tracker.profile()[0] == 0.0
+
+    def test_imbalance_uniform(self, tracker):
+        for gps in range(4):
+            tracker.allocate_page(gps, count=2)
+        assert tracker.imbalance() == pytest.approx(1.0)
+
+    def test_imbalance_concentrated(self, tracker):
+        tracker.allocate_page(0, count=4)
+        assert tracker.imbalance() == pytest.approx(4.0)
+
+    def test_summary_keys(self, tracker):
+        tracker.allocate_page(0)
+        summary = tracker.summary()
+        assert set(summary) == {"mean", "max", "min", "imbalance"}
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            PressureTracker(0, 8)

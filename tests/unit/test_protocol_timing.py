@@ -1,0 +1,141 @@
+"""Exact timing equations of the COMA-F protocol paths.
+
+These tests pin the latency model documented in
+``repro/coma/protocol.py`` so accidental double-charging (or dropped
+charges) cannot creep in: each transaction's cycle count is written out
+long-hand from the paper's Section 5.1 constants.
+"""
+
+import pytest
+
+from repro.common.address import AddressLayout
+from repro.coma.protocol import ProtocolEngine
+from repro.coma.states import AMState
+from repro.interconnect.crossbar import Crossbar
+
+
+@pytest.fixture
+def engine(small_params, small_layout):
+    return ProtocolEngine(small_params, small_layout, Crossbar(small_params))
+
+
+def addr_homed_at(layout, home, color_offset=0):
+    vpn = home + color_offset * layout.global_page_sets
+    return vpn << layout.page_bits
+
+
+def costs(params):
+    return (
+        params.am_hit_latency,
+        params.request_msg_cycles,
+        params.block_msg_cycles,
+        params.directory_lookup_latency,
+    )
+
+
+class TestReadCosts:
+    def test_local_hit(self, engine, small_layout):
+        am, req, blk, dirl = costs(engine.params)
+        addr = addr_homed_at(small_layout, 0)
+        engine.preload_block(addr)
+        assert engine.fetch(0, addr, False, 0).cycles == am
+
+    def test_remote_read_supplier_is_home(self, engine, small_layout):
+        am, req, blk, dirl = costs(engine.params)
+        addr = addr_homed_at(small_layout, 2)
+        engine.preload_block(addr)
+        outcome = engine.fetch(0, addr, False, 0)
+        # local miss + request to home + dir + home AM + block reply
+        assert outcome.cycles == am + req + dirl + am + blk
+
+    def test_remote_read_forwarded_to_owner(self, engine, small_layout):
+        am, req, blk, dirl = costs(engine.params)
+        addr = addr_homed_at(small_layout, 2)
+        engine.preload_block(addr)
+        engine.fetch(1, addr, True, 0)  # node 1 takes the master away
+        outcome = engine.fetch(0, addr, False, 0)
+        # local miss + req to home + dir + forward + owner AM + block
+        assert outcome.cycles == am + req + dirl + req + am + blk
+
+    def test_read_at_home_skips_request_message(self, engine, small_layout):
+        am, req, blk, dirl = costs(engine.params)
+        addr = addr_homed_at(small_layout, 2)
+        engine.preload_block(addr)
+        # Home requests its own block: the master is local, pure AM hit.
+        assert engine.fetch(2, addr, False, 0).cycles == am
+
+
+class TestWriteCosts:
+    def test_write_fetch_no_sharers(self, engine, small_layout):
+        am, req, blk, dirl = costs(engine.params)
+        addr = addr_homed_at(small_layout, 2)
+        engine.preload_block(addr)
+        outcome = engine.fetch(0, addr, True, 0)
+        # Master at home is invalidated via the holders round:
+        # miss + req + dir + (inval到home? owner==home, exclude=req ->
+        # holder set {home}; inval home->home is local/free, ack free)
+        # + home AM + block reply.
+        assert outcome.cycles == am + req + dirl + am + blk
+
+    def test_write_fetch_invalidates_remote_sharer(self, engine, small_layout):
+        am, req, blk, dirl = costs(engine.params)
+        addr = addr_homed_at(small_layout, 2)
+        engine.preload_block(addr)
+        engine.fetch(1, addr, False, 0)  # node 1 becomes a sharer
+        outcome = engine.fetch(0, addr, True, 0)
+        # miss + req + dir + slowest inval/ack round (home->1, 1->home)
+        # + home AM + block reply.
+        assert outcome.cycles == am + req + dirl + (req + req) + am + blk
+
+    def test_upgrade_from_master_shared(self, engine, small_layout):
+        am, req, blk, dirl = costs(engine.params)
+        addr = addr_homed_at(small_layout, 2)
+        engine.preload_block(addr)
+        engine.fetch(0, addr, False, 0)  # node 0 shares
+        # Node 0 writes: upgrade — request + dir + invalidation of the
+        # master at home (node-local, message-free) + grant ack back.
+        outcome = engine.upgrade_for_write(0, addr, 0)
+        assert outcome.cycles == am + req + dirl + req
+
+    def test_exclusive_rewrite_free_of_protocol(self, engine, small_layout):
+        am, req, blk, dirl = costs(engine.params)
+        addr = addr_homed_at(small_layout, 2)
+        engine.preload_block(addr)
+        engine.fetch(0, addr, True, 0)
+        assert engine.fetch(0, addr, True, 0).cycles == am
+
+
+class TestMessageAccounting:
+    def test_remote_read_message_counts(self, engine, small_layout):
+        addr = addr_homed_at(small_layout, 2)
+        engine.preload_block(addr)
+        engine.fetch(0, addr, False, 0)
+        counters = engine.crossbar.counters
+        assert counters["msg_read_request"] == 1
+        assert counters["msg_block_reply"] == 1
+
+    def test_sharer_drop_message_counted(self, engine, small_layout):
+        assoc = engine.params.am_assoc
+        addrs = [addr_homed_at(small_layout, 2, color_offset=i) for i in range(assoc + 1)]
+        for a in addrs:
+            engine.preload_block(a)
+        for a in addrs:
+            engine.fetch(0, a, False, 0)
+        assert engine.crossbar.counters["msg_sharer_drop"] == 1
+
+    def test_translation_reported_separately(self, small_params, small_layout):
+        from repro.coma.protocol import TranslationAgent
+
+        class FixedPenalty(TranslationAgent):
+            def at_home(self, home, vpn, for_ownership=False, injection=False, requester=None):
+                return 40
+
+        engine = ProtocolEngine(
+            small_params, small_layout, Crossbar(small_params), agent=FixedPenalty()
+        )
+        addr = addr_homed_at(small_layout, 2)
+        engine.preload_block(addr)
+        outcome = engine.fetch(0, addr, False, 0)
+        assert outcome.translation == 40
+        am, req, blk, dirl = costs(small_params)
+        assert outcome.cycles == am + req + dirl + 40 + am + blk

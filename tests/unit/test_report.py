@@ -1,0 +1,61 @@
+"""Report generator."""
+
+import pytest
+
+from repro import MachineParams
+from repro.analysis.report import generate_report, write_report
+
+TINY = MachineParams.scaled_down(factor=256, nodes=2, page_size=256)
+FAST = dict(
+    params=TINY,
+    workloads=["barnes"],
+    sizes=(8, 32),
+    intensities={"barnes": 0.1},
+)
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report(include_figures=True, **FAST)
+
+
+class TestGenerateReport:
+    def test_contains_every_artifact_section(self, report_text):
+        for section in (
+            "Figure 8",
+            "Figure 9",
+            "Figure 10",
+            "Figure 11",
+            "Table 2",
+            "Table 3",
+            "Table 4",
+            "virtual-tag memory overhead",
+        ):
+            assert section in report_text, section
+
+    def test_machine_description_included(self, report_text):
+        assert "2 nodes" in report_text
+
+    def test_code_fences_balanced(self, report_text):
+        assert report_text.count("```") % 2 == 0
+
+    def test_tables_only_mode(self):
+        text = generate_report(include_figures=False, **FAST)
+        assert "Table 2" in text
+        assert "Figure 8" not in text
+        assert len(text) < len(generate_report(include_figures=True, **FAST))
+
+    def test_raytrace_adds_v2_bar(self):
+        text = generate_report(
+            params=TINY,
+            workloads=["raytrace"],
+            sizes=(8,),
+            intensities={"raytrace": 0.3},
+            include_figures=True,
+        )
+        assert "DLB/8/V2" in text
+
+    def test_write_report_roundtrip(self, tmp_path):
+        path = tmp_path / "r.md"
+        text = write_report(str(path), include_figures=False, **FAST)
+        assert path.read_text() == text

@@ -1,0 +1,33 @@
+"""Deterministic RNG substreams."""
+
+from repro.common.rng import make_rng, substream_seed
+
+
+def test_same_names_same_seed():
+    assert substream_seed(1, "tlb", 0) == substream_seed(1, "tlb", 0)
+
+
+def test_different_names_different_seed():
+    assert substream_seed(1, "tlb", 0) != substream_seed(1, "tlb", 1)
+    assert substream_seed(1, "tlb") != substream_seed(1, "dlb")
+
+
+def test_different_base_seed_differs():
+    assert substream_seed(1, "x") != substream_seed(2, "x")
+
+
+def test_make_rng_reproducible():
+    a = make_rng(42, "w", 3)
+    b = make_rng(42, "w", 3)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_make_rng_independent_streams():
+    a = make_rng(42, "w", 3)
+    b = make_rng(42, "w", 4)
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_mixed_name_types():
+    assert substream_seed(0, "a", 1, "b") == substream_seed(0, "a", 1, "b")
+    assert substream_seed(0, "a", 1) != substream_seed(0, "a", "1")

@@ -1,0 +1,95 @@
+"""Counters and TimeBreakdown."""
+
+import pytest
+
+from repro.common.stats import AverageBreakdown, Counters, TimeBreakdown
+
+
+class TestCounters:
+    def test_unknown_reads_zero(self):
+        assert Counters()["nope"] == 0
+
+    def test_add_and_get(self):
+        c = Counters()
+        c.add("x")
+        c.add("x", 4)
+        assert c["x"] == 5
+
+    def test_initial_values(self):
+        c = Counters(a=2)
+        assert c["a"] == 2
+
+    def test_merge_sums(self):
+        a = Counters(x=1, y=2)
+        b = Counters(y=3, z=4)
+        merged = a.merge(b)
+        assert merged["x"] == 1 and merged["y"] == 5 and merged["z"] == 4
+        # merge does not mutate the operands
+        assert a["y"] == 2 and b["y"] == 3
+
+    def test_iteration_sorted(self):
+        c = Counters(b=1, a=2)
+        assert [k for k, _ in c] == ["a", "b"]
+
+    def test_contains_and_len(self):
+        c = Counters(a=1)
+        assert "a" in c and "b" not in c
+        assert len(c) == 1
+
+    def test_setitem(self):
+        c = Counters()
+        c["k"] = 7
+        assert c["k"] == 7
+
+    def test_to_dict_copy(self):
+        c = Counters(a=1)
+        d = c.to_dict()
+        d["a"] = 99
+        assert c["a"] == 1
+
+
+class TestTimeBreakdown:
+    def test_total(self):
+        b = TimeBreakdown(busy=1, sync=2, loc_stall=3, rem_stall=4, tlb_stall=5)
+        assert b.total == 15
+        assert b.memory_stall == 7
+
+    def test_overhead_ratio(self):
+        b = TimeBreakdown(loc_stall=50, rem_stall=50, tlb_stall=10)
+        assert b.translation_overhead_ratio() == pytest.approx(0.1)
+
+    def test_overhead_ratio_zero_stall(self):
+        assert TimeBreakdown(busy=100).translation_overhead_ratio() == 0.0
+
+    def test_addition(self):
+        a = TimeBreakdown(busy=1, sync=1)
+        b = TimeBreakdown(busy=2, rem_stall=3)
+        s = a + b
+        assert s.busy == 3 and s.sync == 1 and s.rem_stall == 3
+
+    def test_scaled_produces_average(self):
+        b = TimeBreakdown(busy=10, sync=20)
+        avg = b.scaled(2)
+        assert isinstance(avg, AverageBreakdown)
+        assert avg.busy == 5 and avg.sync == 10
+
+    def test_scaled_rejects_zero(self):
+        with pytest.raises(ValueError):
+            TimeBreakdown().scaled(0)
+
+    def test_to_dict_fields(self):
+        d = TimeBreakdown(busy=1).to_dict()
+        assert set(d) == {"busy", "sync", "loc_stall", "rem_stall", "tlb_stall"}
+
+
+class TestAverageBreakdown:
+    def test_normalized_to_baseline(self):
+        base = AverageBreakdown(busy=50, loc_stall=50)
+        other = AverageBreakdown(busy=50, loc_stall=25)
+        norm = other.normalized_to(base)
+        assert norm["total"] == pytest.approx(0.75)
+        assert norm["busy"] == pytest.approx(0.5)
+
+    def test_normalized_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            AverageBreakdown().normalized_to(AverageBreakdown())

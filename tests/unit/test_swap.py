@@ -1,0 +1,74 @@
+"""Swap daemon (Section 4.3 extension)."""
+
+import pytest
+
+from repro import CapacityError
+from repro.vm.page_table import HomePageTable, PageTableEntry
+from repro.vm.pressure import PressureTracker
+from repro.vm.swap import SwapDaemon
+
+
+def make_daemon(threshold=0.5, slots=4):
+    pressure = PressureTracker(global_page_sets=4, slots_per_set=slots)
+    tables = [HomePageTable(0, 4)]
+    evicted = []
+    daemon = SwapDaemon(pressure, tables, evicted.append, threshold=threshold)
+    return daemon, pressure, tables[0], evicted
+
+
+def add_page(daemon, pressure, table, vpn, referenced=False):
+    table.insert(PageTableEntry(vpn=vpn, payload=vpn, referenced=referenced))
+    pressure.allocate_page(vpn % 4)
+    daemon.note_page_in(vpn)
+
+
+class TestThreshold:
+    def test_under_threshold_no_swap(self):
+        daemon, pressure, table, evicted = make_daemon()
+        add_page(daemon, pressure, table, 0)
+        assert daemon.make_room(0) is None
+        assert not evicted
+
+    def test_over_threshold_swaps_one(self):
+        daemon, pressure, table, evicted = make_daemon()
+        for vpn in (0, 4, 8):  # all color 0 -> pressure 0.75 > 0.5
+            add_page(daemon, pressure, table, vpn)
+        victim = daemon.make_room(0)
+        assert victim in (0, 4, 8)
+        assert evicted == [victim]
+        assert pressure.occupancy(0) == 2
+        assert daemon.swapped_out == 1
+
+    def test_invalid_threshold(self):
+        pressure = PressureTracker(4, 4)
+        with pytest.raises(ValueError):
+            SwapDaemon(pressure, [], lambda v: None, threshold=0.0)
+
+
+class TestVictimChoice:
+    def test_prefers_unreferenced(self):
+        daemon, pressure, table, evicted = make_daemon()
+        add_page(daemon, pressure, table, 0, referenced=True)
+        add_page(daemon, pressure, table, 4, referenced=False)
+        add_page(daemon, pressure, table, 8, referenced=True)
+        assert daemon.make_room(0) == 4
+
+    def test_fifo_among_unreferenced(self):
+        daemon, pressure, table, evicted = make_daemon()
+        for vpn in (8, 0, 4):
+            add_page(daemon, pressure, table, vpn)
+        assert daemon.make_room(0) == 8  # oldest resident
+
+    def test_no_victim_raises(self):
+        daemon, pressure, table, evicted = make_daemon()
+        pressure.allocate_page(0, count=3)  # pressure without table entries
+        with pytest.raises(CapacityError):
+            daemon.make_room(0)
+
+    def test_note_page_out_clears_order(self):
+        daemon, pressure, table, evicted = make_daemon()
+        add_page(daemon, pressure, table, 0)
+        daemon.note_page_out(0)
+        # Re-entering later gets a fresh arrival stamp.
+        daemon.note_page_in(0)
+        assert daemon._residence_order[0] == 1

@@ -1,0 +1,80 @@
+"""Tag-memory overhead analysis (paper §6 figures)."""
+
+import pytest
+
+from repro.analysis.tag_overhead import (
+    POWERPC_32,
+    POWERPC_64,
+    extra_tag_bytes_per_block,
+    paper_table,
+    render_tag_overhead_table,
+    tag_bits,
+    tag_overhead_increase,
+)
+
+
+class TestTagBits:
+    def test_offset_and_index_removed(self):
+        # 32-bit address, 128 B blocks (7 offset bits), 8 sets (3 bits).
+        assert tag_bits(32, 128, 8, access_right_bits=0) == 22
+
+    def test_access_rights_added(self):
+        assert tag_bits(32, 128, 8, access_right_bits=4) == 26
+
+    def test_single_set_no_index_bits(self):
+        assert tag_bits(32, 128, 1, access_right_bits=0) == 25
+
+    def test_never_negative(self):
+        assert tag_bits(8, 1024, 1024, access_right_bits=0) == 0
+
+
+class TestExtraBytes:
+    def test_ppc32_is_two_to_three_bytes(self):
+        # Paper: "the virtual tag may [be] 2 to 3 bytes longer".
+        v, p = POWERPC_32
+        extra = extra_tag_bytes_per_block(v, p, 128, sets=1)
+        assert 2.0 <= extra <= 3.0
+
+    def test_ppc64_is_two_to_three_bytes(self):
+        v, p = POWERPC_64
+        extra = extra_tag_bytes_per_block(v, p, 128, sets=1)
+        assert 2.0 <= extra <= 3.0
+
+
+class TestPaperRanges:
+    """The paper's quoted overhead ranges per block size."""
+
+    @pytest.mark.parametrize(
+        "block,low,high",
+        [(128, 0.015, 0.025), (64, 0.03, 0.045), (32, 0.06, 0.09)],
+    )
+    def test_overhead_in_paper_range(self, block, low, high):
+        table = paper_table()
+        for isa in ("ppc32", "ppc64"):
+            value = table[(isa, block)]
+            assert low * 0.8 <= value <= high * 1.2, (isa, block, value)
+
+    def test_overhead_halves_with_double_block(self):
+        table = paper_table()
+        for isa in ("ppc32", "ppc64"):
+            assert table[(isa, 64)] == pytest.approx(table[(isa, 128)] * 2, rel=0.01)
+            assert table[(isa, 32)] == pytest.approx(table[(isa, 64)] * 2, rel=0.01)
+
+    def test_render_contains_all_blocks(self):
+        text = render_tag_overhead_table()
+        for token in ("128 B", "64 B", "32 B", "ppc32", "ppc64"):
+            assert token in text
+
+
+class TestGenericGeometry:
+    def test_more_sets_do_not_change_difference(self):
+        # Index bits cancel between virtual and physical tags.
+        v, p = POWERPC_32
+        a = tag_overhead_increase(v, p, 128, sets=1)
+        b = tag_overhead_increase(v, p, 128, sets=4096)
+        assert a == pytest.approx(b)
+
+    def test_wider_virtual_address_costs_more(self):
+        narrow = tag_overhead_increase(48, 40, 128, sets=1)
+        wide = tag_overhead_increase(64, 40, 128, sets=1)
+        assert wide > narrow

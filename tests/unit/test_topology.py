@@ -1,0 +1,112 @@
+"""Interconnect topologies."""
+
+import pytest
+
+from repro import ConfigurationError, MachineParams
+from repro.interconnect import (
+    Crossbar,
+    CrossbarTopology,
+    Mesh2DTopology,
+    MessageKind,
+    RingTopology,
+    make_topology,
+)
+
+
+class TestCrossbarTopology:
+    def test_all_pairs_one_hop(self):
+        topo = CrossbarTopology(8)
+        assert all(topo.hops(0, d) == 1 for d in range(1, 8))
+        assert topo.hops(3, 3) == 0
+        assert topo.diameter() == 1
+
+
+class TestRingTopology:
+    def test_shorter_way_round(self):
+        topo = RingTopology(8)
+        assert topo.hops(0, 1) == 1
+        assert topo.hops(0, 7) == 1  # wraps
+        assert topo.hops(0, 4) == 4
+        assert topo.hops(6, 2) == 4
+
+    def test_symmetry(self):
+        topo = RingTopology(8)
+        for s in range(8):
+            for d in range(8):
+                assert topo.hops(s, d) == topo.hops(d, s)
+
+    def test_diameter(self):
+        assert RingTopology(8).diameter() == 4
+        assert RingTopology(7).diameter() == 3
+
+
+class TestMeshTopology:
+    def test_square_grid(self):
+        topo = Mesh2DTopology(16)
+        assert (topo.width, topo.height) == (4, 4)
+        assert topo.hops(0, 15) == 6  # (0,0)->(3,3)
+        assert topo.hops(0, 1) == 1
+        assert topo.hops(0, 4) == 1  # next row
+
+    def test_non_square_node_count(self):
+        topo = Mesh2DTopology(8)
+        assert topo.width * topo.height == 8
+        assert topo.diameter() >= 2
+
+    def test_manhattan_symmetry(self):
+        topo = Mesh2DTopology(16)
+        for s in range(16):
+            for d in range(16):
+                assert topo.hops(s, d) == topo.hops(d, s)
+
+
+class TestFactoryAndStats:
+    def test_make_topology(self):
+        assert make_topology("ring", 4).name == "ring"
+        assert make_topology("MESH2D", 4).name == "mesh2d"
+
+    def test_unknown_topology(self):
+        with pytest.raises(ConfigurationError):
+            make_topology("torus", 4)
+
+    def test_average_distance_ordering(self):
+        # Crossbar <= mesh <= ring for 16 nodes.
+        xbar = CrossbarTopology(16).average_distance()
+        mesh = Mesh2DTopology(16).average_distance()
+        ring = RingTopology(16).average_distance()
+        assert xbar <= mesh <= ring
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RingTopology(4).hops(0, 4)
+
+
+class TestCrossbarIntegration:
+    def test_extra_hops_cost_router_latency(self, small_params):
+        topo = RingTopology(small_params.nodes)
+        xbar = Crossbar(small_params, topology=topo)
+        near = xbar.cycles_for(MessageKind.READ_REQUEST, 0, 1)
+        far = xbar.cycles_for(MessageKind.READ_REQUEST, 0, 2)
+        assert far == near + small_params.router_latency_cycles
+
+    def test_no_topology_means_flat(self, small_params):
+        xbar = Crossbar(small_params)
+        assert xbar.cycles_for(MessageKind.READ_REQUEST, 0, 1) == xbar.cycles_for(
+            MessageKind.READ_REQUEST, 0, 3
+        )
+
+    def test_machine_accepts_topology(self, small_params):
+        from repro import CustomWorkload, Machine, Scheme, SegmentSpec, Simulator
+        from repro.system.refs import READ
+
+        def stream(node, ctx):
+            yield READ, ctx.segment("data").base
+
+        workload = CustomWorkload(
+            [SegmentSpec("data", 8 * small_params.page_size)], stream, name="t"
+        )
+        flat = Machine(small_params, Scheme.V_COMA, workload)
+        ring = Machine(small_params, Scheme.V_COMA, workload, topology="ring")
+        t_flat = Simulator(flat).run().total_time
+        t_ring = Simulator(ring).run().total_time
+        assert t_ring >= t_flat

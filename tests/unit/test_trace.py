@@ -1,0 +1,155 @@
+"""Trace recording and replay."""
+
+import io
+
+import pytest
+
+from repro import (
+    CustomWorkload,
+    Machine,
+    MachineParams,
+    ReproError,
+    Scheme,
+    SegmentSpec,
+    Simulator,
+    make_workload,
+)
+from repro.system.refs import BARRIER, LOCK, READ, UNLOCK, WRITE
+from repro.workloads import TraceWorkload, record_trace
+
+
+def record(params, workload, max_refs=None):
+    machine = Machine(params, Scheme.V_COMA, workload)
+    buffer = io.StringIO()
+    written = record_trace(workload, machine.ctx, buffer, max_refs_per_node=max_refs)
+    return buffer.getvalue(), written
+
+
+class TestRecord:
+    def test_header_and_counts(self, small_params):
+        workload = make_workload("barnes", intensity=0.1)
+        text, written = record(small_params, workload, max_refs=50)
+        assert text.startswith("#repro-trace v1 nodes=4")
+        data_lines = [l for l in text.splitlines() if not l.startswith("#")]
+        assert len(data_lines) == written
+        assert written <= 50 * small_params.nodes
+
+    def test_segment_metadata_recorded(self, small_params):
+        workload = make_workload("ocean", intensity=0.1)
+        text, _ = record(small_params, workload, max_refs=20)
+        assert "#segment grid_a" in text
+
+    def test_all_opcodes_representable(self, small_params):
+        def stream(node, ctx):
+            base = ctx.segment("data").base
+            yield READ, base
+            yield WRITE, base + 8
+            yield LOCK, base
+            yield UNLOCK, base
+            yield BARRIER, 0
+
+        workload = CustomWorkload(
+            [SegmentSpec("data", 4 * small_params.page_size)], stream, name="ops"
+        )
+        text, written = record(small_params, workload)
+        assert written == 5 * small_params.nodes
+        for code in (" R ", " W ", " L ", " U ", " B "):
+            assert code in text
+
+
+class TestReplay:
+    def test_roundtrip_preserves_stream_shape(self, small_params):
+        workload = make_workload("barnes", intensity=0.1)
+        text, written = record(small_params, workload, max_refs=200)
+        replayed = TraceWorkload(text)
+        machine = Machine(small_params, Scheme.V_COMA, replayed)
+        streams = [list(machine.node_stream(n)) for n in range(small_params.nodes)]
+        assert sum(len(s) for s in streams) == written
+        # Same op sequence per node as the recorded one.
+        original = Machine(small_params, Scheme.V_COMA, workload)
+        import itertools
+
+        first_orig = [
+            op for op, _ in itertools.islice(workload.node_stream(0, original.ctx), 200)
+        ]
+        first_replay = [op for op, _ in streams[0]]
+        assert first_replay == first_orig[: len(first_replay)]
+
+    def test_replay_runs_through_simulator(self, small_params):
+        workload = make_workload("fft", intensity=0.1)
+        text, _ = record(small_params, workload, max_refs=300)
+        replayed = TraceWorkload(text)
+        machine = Machine(small_params, Scheme.L0_TLB, replayed)
+        result = Simulator(machine).run()
+        machine.engine.check_invariants()
+        assert result.total_references > 0
+
+    def test_page_collision_structure_preserved(self, small_params):
+        """Two addresses on the same page in the trace stay on the same
+        page after rebasing; distinct pages stay distinct."""
+        page = small_params.page_size
+
+        def stream(node, ctx):
+            base = ctx.segment("data").base
+            yield READ, base + 1
+            yield READ, base + page - 1
+            yield READ, base + page
+
+        workload = CustomWorkload(
+            [SegmentSpec("data", 4 * small_params.page_size)], stream, name="pg"
+        )
+        text, _ = record(small_params, workload)
+        replayed = TraceWorkload(text)
+        machine = Machine(small_params, Scheme.V_COMA, replayed)
+        addrs = [a for _, a in machine.node_stream(0)]
+        assert addrs[0] // page == addrs[1] // page
+        assert addrs[2] // page == addrs[0] // page + 1
+
+    def test_fewer_machine_nodes_rejected(self, small_params):
+        workload = make_workload("barnes", intensity=0.1)
+        text, _ = record(small_params, workload, max_refs=20)
+        tiny = MachineParams.scaled_down(factor=256, nodes=2, page_size=256)
+        with pytest.raises(ReproError):
+            Machine(tiny, Scheme.V_COMA, TraceWorkload(text))
+
+    def test_extra_machine_nodes_idle(self, small_params):
+        tiny = MachineParams.scaled_down(factor=256, nodes=2, page_size=256)
+        workload = make_workload("barnes", intensity=0.1)
+        machine = Machine(tiny, Scheme.V_COMA, workload)
+        buffer = io.StringIO()
+        record_trace(workload, machine.ctx, buffer, max_refs_per_node=20)
+        replayed = TraceWorkload(buffer.getvalue())
+        big = Machine(small_params, Scheme.V_COMA, replayed)
+        assert list(big.node_stream(3)) == []
+
+
+class TestParsing:
+    def test_rejects_non_trace(self):
+        with pytest.raises(ReproError):
+            TraceWorkload("hello world\n")
+
+    def test_rejects_bad_line(self):
+        with pytest.raises(ReproError):
+            TraceWorkload("#repro-trace v1 nodes=2 think=4\nN0 X 12\n")
+
+    def test_rejects_out_of_range_node(self):
+        with pytest.raises(ReproError):
+            TraceWorkload("#repro-trace v1 nodes=2 think=4\nN5 R 0x10\n")
+
+    def test_rejects_empty_trace(self):
+        with pytest.raises(ReproError):
+            TraceWorkload("#repro-trace v1 nodes=2 think=4\n")
+
+    def test_think_cycles_respected(self):
+        trace = "#repro-trace v1 nodes=1 think=9\nN0 R 0x1000\n"
+        assert TraceWorkload(trace).think_cycles == 9
+
+    def test_comments_and_blanks_ignored(self):
+        trace = (
+            "#repro-trace v1 nodes=1 think=4\n"
+            "# a comment\n"
+            "\n"
+            "N0 R 0x1000\n"
+        )
+        workload = TraceWorkload(trace)
+        assert len(workload._streams[0]) == 1

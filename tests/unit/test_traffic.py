@@ -1,0 +1,101 @@
+"""Per-segment traffic profiling."""
+
+import pytest
+
+from repro import CustomWorkload, SegmentSpec, make_workload
+from repro.analysis import profile_workload
+from repro.system.refs import BARRIER, LOCK, READ, UNLOCK, WRITE
+from repro.vm.segments import SegmentKind
+
+
+class TestProfileWorkload:
+    def test_counts_by_segment(self, small_params):
+        def stream(node, ctx):
+            a = ctx.segment("a")
+            b = ctx.segment("b")
+            yield READ, a.base
+            yield READ, a.base + 8
+            yield WRITE, b.base
+            yield BARRIER, 0
+
+        workload = CustomWorkload(
+            [
+                SegmentSpec("a", 2 * small_params.page_size),
+                SegmentSpec("b", 2 * small_params.page_size),
+            ],
+            stream,
+            name="two",
+        )
+        profile = profile_workload(small_params, workload)
+        nodes = small_params.nodes
+        assert profile.segments["a"].reads == 2 * nodes
+        assert profile.segments["a"].writes == 0
+        assert profile.segments["b"].writes == nodes
+        assert profile.barriers == nodes
+        assert profile.total_references == 3 * nodes
+
+    def test_lock_ops_counted(self, small_params):
+        def stream(node, ctx):
+            word = ctx.segment("q").base
+            yield LOCK, word
+            yield UNLOCK, word
+
+        workload = CustomWorkload(
+            [SegmentSpec("q", small_params.page_size)], stream, name="lk"
+        )
+        profile = profile_workload(small_params, workload)
+        assert profile.segments["q"].lock_ops == 2 * small_params.nodes
+
+    def test_distinct_pages(self, small_params):
+        page = small_params.page_size
+
+        def stream(node, ctx):
+            base = ctx.segment("a").base
+            yield READ, base
+            yield READ, base + page
+            yield READ, base + page + 8  # same page
+
+        workload = CustomWorkload(
+            [SegmentSpec("a", 4 * page)], stream, name="pg"
+        )
+        profile = profile_workload(small_params, workload)
+        assert profile.segments["a"].distinct_pages == 2
+
+    def test_write_fraction(self, small_params):
+        def stream(node, ctx):
+            base = ctx.segment("a").base
+            yield READ, base
+            yield WRITE, base
+
+        workload = CustomWorkload(
+            [SegmentSpec("a", small_params.page_size)], stream, name="wf"
+        )
+        profile = profile_workload(small_params, workload)
+        assert profile.write_fraction == pytest.approx(0.5)
+        assert profile.segments["a"].write_fraction == pytest.approx(0.5)
+
+    def test_max_refs_limits(self, small_params):
+        workload = make_workload("ocean", intensity=0.2)
+        profile = profile_workload(small_params, workload, max_refs_per_node=100)
+        assert profile.total_references == 100 * small_params.nodes
+
+    def test_render_mentions_every_segment(self, small_params):
+        workload = make_workload("radix", intensity=0.1)
+        text = profile_workload(small_params, workload, max_refs_per_node=200).render()
+        for name in ("keys_in", "keys_out", "histogram"):
+            assert name in text
+
+    def test_private_kind_propagated(self, small_params):
+        workload = make_workload("raytrace", intensity=0.3)
+        profile = profile_workload(small_params, workload, max_refs_per_node=400)
+        stacks = [s for s in profile.segments.values() if s.name.startswith("stack")]
+        assert stacks and all(s.kind == "private" for s in stacks)
+
+    def test_radix_character(self, small_params):
+        """The generator matches its intended RADIX shape: read-only
+        input, write-only output."""
+        profile = profile_workload(
+            small_params, make_workload("radix", intensity=0.2)
+        )
+        assert profile.segments["keys_in"].write_fraction == 0.0
+        assert profile.segments["keys_out"].write_fraction == 1.0
