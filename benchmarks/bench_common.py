@@ -3,9 +3,20 @@
 Every benchmark runs on the same scaled-down machine (8 nodes with the
 paper's cache/AM geometry, 512-byte pages so data sets span thousands of
 pages like the paper's do) and the six SPLASH-2-shaped workloads in the
-paper's presentation order.  Sweep simulations are cached per workload
-so the four miss-count artifacts (Figure 8, Figure 9, Table 2, Table 3)
-share one simulation each.
+paper's presentation order.  Simulations execute through the batch
+runner (:mod:`repro.runner`): results are memoized in-process *and* in
+the persistent on-disk result cache, so the four miss-count artifacts
+(Figure 8, Figure 9, Table 2, Table 3) share one simulation each and a
+re-run of the harness reuses every simulation from the previous one.
+
+Environment knobs:
+
+* ``REPRO_BENCH_JOBS`` — worker processes used when :func:`all_studies`
+  has to simulate several cold sweeps; default 1 (serial).
+* ``REPRO_CACHE_DIR`` — relocate the persistent cache (honoured by
+  :func:`repro.runner.default_cache_dir`).
+* ``REPRO_NO_CACHE`` — set non-empty to disable the persistent cache
+  (in-process memoization still applies).
 
 Scaling note: absolute miss counts and percentages differ from the
 paper's 32-node SPARC testbed; what the harness reproduces — and what
@@ -15,11 +26,12 @@ EXPERIMENTS.md records — are the orderings and effect directions.
 from __future__ import annotations
 
 import functools
+import os
 from typing import Dict
 
 from repro import MachineParams, Scheme, make_workload
-from repro.analysis import run_miss_sweep, run_timing
 from repro.core.tlb import Organization
+from repro.runner import BatchRunner, JobSpec, ResultCache
 from repro.system.taps import StudyResults
 from repro.workloads import PAPER_ORDER
 
@@ -28,6 +40,9 @@ BENCH_PARAMS = MachineParams.scaled_down(factor=8, nodes=8, page_size=512)
 
 #: TLB/DLB sizes on Figure 8's x-axis / Table 2's columns.
 SWEEP_SIZES = (8, 32, 128, 512)
+
+#: Organizations swept for Figures 8/9.
+SWEEP_ORGS = (Organization.FULLY_ASSOCIATIVE, Organization.DIRECT_MAPPED)
 
 #: Runs execute each workload's COMPLETE stream — truncating would
 #: distort the phase mix (e.g. cutting FFT during its TLB-friendly
@@ -69,32 +84,66 @@ def bench_workload(name: str, **overrides):
 
 
 @functools.lru_cache(maxsize=None)
-def sweep_study(name: str) -> StudyResults:
-    """Run (once) the full-taps sweep for one benchmark."""
-    result = run_miss_sweep(
+def bench_runner() -> BatchRunner:
+    """The harness's shared runner: persistent cache + optional workers."""
+    cache = None if os.environ.get("REPRO_NO_CACHE") else ResultCache()
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    return BatchRunner(jobs=jobs, cache=cache)
+
+
+def _sweep_spec(name: str) -> JobSpec:
+    return JobSpec.sweep(
         BENCH_PARAMS,
-        bench_workload(name),
+        name,
         sizes=SWEEP_SIZES,
-        orgs=(Organization.FULLY_ASSOCIATIVE, Organization.DIRECT_MAPPED),
+        orgs=SWEEP_ORGS,
         max_refs_per_node=SWEEP_REFS,
+        overrides={"intensity": INTENSITY[name]},
+        label=name,
     )
-    return result.study_results()
+
+
+#: In-process memo for sweep studies; :func:`all_studies` fills it in
+#: one batched runner call so cold entries shard across workers.
+_STUDIES: Dict[str, StudyResults] = {}
+
+
+def sweep_study(name: str) -> StudyResults:
+    """The full-taps sweep for one benchmark.
+
+    Simulated at most once — in this process via the memo, across
+    processes via the persistent cache."""
+    if name not in _STUDIES:
+        (job,) = bench_runner().run([_sweep_spec(name)])
+        _STUDIES[name] = job.summary.study_results()
+    return _STUDIES[name]
 
 
 def all_studies() -> Dict[str, StudyResults]:
-    return {name: sweep_study(name) for name in BENCHMARKS}
+    """Every benchmark's sweep, batched through one runner call."""
+    missing = [name for name in BENCHMARKS if name not in _STUDIES]
+    if missing:
+        jobs = bench_runner().run([_sweep_spec(name) for name in missing])
+        for name, job in zip(missing, jobs):
+            _STUDIES[name] = job.summary.study_results()
+    return {name: _STUDIES[name] for name in BENCHMARKS}
 
 
 @functools.lru_cache(maxsize=None)
 def timing_run(name: str, scheme_value: str, entries: int, org_value: str):
-    """Run (once) a coupled timing simulation."""
-    scheme = Scheme(scheme_value)
-    org = Organization(org_value)
-    return run_timing(
+    """A coupled timing simulation, memoized in-process and on disk.
+
+    Returns a :class:`~repro.runner.summary.RunSummary`, which exposes
+    the same read surface as :class:`~repro.system.results.RunResult`.
+    """
+    spec = JobSpec.timing(
         BENCH_PARAMS,
-        scheme,
-        bench_workload(name),
+        Scheme(scheme_value),
+        name,
         entries,
-        organization=org,
+        organization=Organization(org_value),
         max_refs_per_node=TIMING_REFS,
+        overrides={"intensity": INTENSITY[name]},
     )
+    (job,) = bench_runner().run([spec])
+    return job.summary

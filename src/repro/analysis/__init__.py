@@ -11,6 +11,7 @@ from repro.analysis.experiments import (
     pressure_profile,
     run_execution_breakdown,
     run_miss_sweep,
+    run_sweep_studies,
     run_timing,
     scheme_miss_rates,
     scheme_misses,
@@ -43,6 +44,7 @@ __all__ = [
     "render_pressure_profile",
     "run_execution_breakdown",
     "run_miss_sweep",
+    "run_sweep_studies",
     "run_timing",
     "Claim",
     "ValidationReport",

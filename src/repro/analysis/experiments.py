@@ -13,6 +13,11 @@ Two kinds of runs:
 Figure 11's pressure profile needs no reference simulation at all: the
 profile is fixed by the preloaded page placement
 (:func:`pressure_profile`).
+
+Grid-shaped experiments (:func:`run_sweep_studies`,
+:func:`run_execution_breakdown`) go through
+:class:`~repro.runner.batch.BatchRunner`, so callers can shard them
+across worker processes and reuse the persistent result cache.
 """
 
 from __future__ import annotations
@@ -81,22 +86,78 @@ def run_timing(
     return Simulator(machine, max_refs_per_node=max_refs_per_node).run()
 
 
+def _default_runner(runner):
+    """The caller's runner, or a fresh serial, cache-less one."""
+    if runner is not None:
+        return runner
+    from repro.runner import BatchRunner
+
+    return BatchRunner(jobs=1, cache=None)
+
+
+def run_sweep_studies(
+    params: MachineParams,
+    workloads: Iterable[str],
+    sizes: Iterable[int] = DEFAULT_SWEEP_SIZES,
+    orgs: Iterable[Organization] = DEFAULT_SWEEP_ORGS,
+    intensities: Optional[Dict[str, float]] = None,
+    max_refs_per_node: Optional[int] = None,
+    runner=None,
+) -> Dict[str, StudyResults]:
+    """One miss sweep per workload, batched through the runner.
+
+    Feeds every sweep-backed artifact (Tables 2/3, Figures 8/9); with a
+    parallel, cache-backed runner the whole grid shards across workers
+    and warm invocations simulate nothing.
+    """
+    from repro.runner import JobSpec
+
+    runner = _default_runner(runner)
+    intensities = intensities or {}
+    names = list(workloads)
+    specs = []
+    for name in names:
+        overrides = {}
+        if name in intensities:
+            overrides["intensity"] = intensities[name]
+        specs.append(
+            JobSpec.sweep(
+                params,
+                name,
+                sizes=sizes,
+                orgs=orgs,
+                max_refs_per_node=max_refs_per_node,
+                overrides=overrides,
+                label=name,
+            )
+        )
+    jobs = runner.run(specs)
+    return {name: job.summary.study_results() for name, job in zip(names, jobs)}
+
+
 def run_execution_breakdown(
     params: MachineParams,
     workload_factory,
     entries: int = 8,
     max_refs_per_node: Optional[int] = None,
     include_v2: bool = False,
-) -> Dict[str, RunResult]:
+    runner=None,
+) -> Dict[str, "RunResult"]:
     """Figure 10's bar set for one benchmark.
 
     Runs ``TLB/n`` (L0-TLB, the physical COMA baseline), ``TLB/n/DM``,
     ``DLB/n`` (V-COMA) and ``DLB/n/DM``; with ``include_v2`` adds
-    ``DLB/n/V2`` using the workload factory's ``v2`` variant (RAYTRACE's
+    ``DLB/n/V2`` using the workload's ``v2`` variant (RAYTRACE's
     page-aligned padding).  ``workload_factory`` is the workload class
-    (so fresh instances configure each machine).
+    or its registry name.  The bars execute through the (optionally
+    parallel, cached) runner and come back as
+    :class:`~repro.runner.summary.RunSummary` objects, which expose the
+    same breakdown surface as :class:`RunResult`.
     """
-    runs: Dict[str, RunResult] = {}
+    from repro.runner import JobSpec
+
+    runner = _default_runner(runner)
+    name = workload_factory if isinstance(workload_factory, str) else workload_factory.name
     combos = [
         (f"TLB/{entries}", Scheme.L0_TLB, Organization.FULLY_ASSOCIATIVE, None),
         (f"TLB/{entries}/DM", Scheme.L0_TLB, Organization.DIRECT_MAPPED, None),
@@ -105,20 +166,20 @@ def run_execution_breakdown(
     ]
     if include_v2:
         combos.append((f"DLB/{entries}/V2", Scheme.V_COMA, Organization.FULLY_ASSOCIATIVE, "v2"))
-    for label, scheme, org, variant in combos:
-        if variant == "v2":
-            workload = workload_factory.v2()
-        else:
-            workload = workload_factory()
-        runs[label] = run_timing(
+    specs = [
+        JobSpec.timing(
             params,
             scheme,
-            workload,
+            name,
             entries,
             organization=org,
             max_refs_per_node=max_refs_per_node,
+            variant=variant,
+            label=label,
         )
-    return runs
+        for label, scheme, org, variant in combos
+    ]
+    return {job.spec.label: job.summary for job in runner.run(specs)}
 
 
 def pressure_profile(

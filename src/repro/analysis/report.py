@@ -4,6 +4,12 @@
 table and figure plus the extension ablations — at a chosen scale and
 renders a single markdown document.  ``python -m repro report`` wraps
 it; ``examples/full_reproduction.py`` shows programmatic use.
+
+The simulation grid (one sweep per workload plus the Table 4 / Figure
+10 timing matrix) executes through a
+:class:`~repro.runner.batch.BatchRunner`: pass ``jobs=N`` to shard it
+across worker processes and ``cache=ResultCache(...)`` to make repeat
+invocations simulation-free.
 """
 
 from __future__ import annotations
@@ -11,11 +17,7 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterable, List, Optional
 
-from repro.analysis.experiments import (
-    pressure_profile,
-    run_miss_sweep,
-    run_timing,
-)
+from repro.analysis.experiments import pressure_profile
 from repro.analysis.figures import (
     render_breakdown_bars,
     render_dm_vs_fa,
@@ -32,7 +34,6 @@ from repro.common.params import MachineParams
 from repro.core.schemes import Scheme
 from repro.core.tlb import Organization
 from repro.workloads import PAPER_ORDER, make_workload
-from repro.workloads.raytrace import RaytraceWorkload
 
 #: Default per-workload intensities for the report scale (mirrors the
 #: benchmark harness: complete streams of roughly equal length).
@@ -56,16 +57,25 @@ def generate_report(
     sizes: Iterable[int] = (8, 32, 128, 512),
     intensities: Optional[Dict[str, float]] = None,
     include_figures: bool = True,
+    jobs: int = 1,
+    cache=None,
+    progress=None,
 ) -> str:
     """Run the full evaluation and return the report as markdown."""
+    from repro.runner import BatchRunner, JobSpec
+
     params = params or MachineParams.scaled_down(factor=8, nodes=8, page_size=512)
     intensities = dict(DEFAULT_INTENSITY, **(intensities or {}))
     workloads = list(workloads)
     sizes = tuple(sizes)
     started = time.time()
+    runner = BatchRunner(jobs=jobs, cache=cache, progress=progress)
 
     def workload_for(name: str):
         return make_workload(name, intensity=intensities.get(name, 1.0))
+
+    def overrides_for(name: str):
+        return {"intensity": intensities.get(name, 1.0)}
 
     sections: List[str] = []
     sections.append("# Reproduction report — Dynamic Address Translation in COMAs")
@@ -74,17 +84,55 @@ def generate_report(
     )
 
     # ------------------------------------------------------------------
-    # sweeps: figures 8/9, tables 2/3
+    # the whole simulation grid, in one batch: per-workload sweeps
+    # (figures 8/9, tables 2/3), the timing matrix (table 4, figure 10),
+    # and raytrace's contention-enabled bars — all independent jobs, so
+    # one runner call shards them across every worker at once.
     # ------------------------------------------------------------------
-    studies = {}
-    for name in workloads:
-        result = run_miss_sweep(
-            params,
-            workload_for(name),
-            sizes=sizes,
-            orgs=(Organization.FULLY_ASSOCIATIVE, Organization.DIRECT_MAPPED),
+    orgs = (Organization.FULLY_ASSOCIATIVE, Organization.DIRECT_MAPPED)
+    specs = [
+        JobSpec.sweep(
+            params, name, sizes=sizes, orgs=orgs,
+            overrides=overrides_for(name), label=f"sweep:{name}",
         )
-        studies[name] = result.study_results()
+        for name in workloads
+    ]
+    for entries in (8, 16):
+        for prefix, scheme in ((f"L0-TLB/{entries}", Scheme.L0_TLB), (f"DLB/{entries}", Scheme.V_COMA)):
+            specs.extend(
+                JobSpec.timing(
+                    params, scheme, name, entries,
+                    overrides=overrides_for(name), label=f"{prefix}:{name}",
+                )
+                for name in workloads
+            )
+    contention_specs = []
+    if include_figures and "raytrace" in workloads:
+        # The padding pathology is bandwidth-borne: these three bars
+        # run with port contention enabled.
+        for label, scheme, variant in (
+            ("TLB/8", Scheme.L0_TLB, None),
+            ("DLB/8", Scheme.V_COMA, None),
+            ("DLB/8/V2", Scheme.V_COMA, "v2"),
+        ):
+            contention_specs.append(
+                JobSpec.timing(
+                    params, scheme, "raytrace", 8, contention=True,
+                    overrides=overrides_for("raytrace"), variant=variant,
+                    label=f"raytrace-contention:{label}",
+                )
+            )
+    finished = {
+        job.spec.label: job.summary for job in runner.run(specs + contention_specs)
+    }
+
+    studies = {name: finished[f"sweep:{name}"].study_results() for name in workloads}
+    timing_cache = {
+        (label, name): finished[f"{label}:{name}"]
+        for entries in (8, 16)
+        for label in (f"L0-TLB/{entries}", f"DLB/{entries}")
+        for name in workloads
+    }
 
     if include_figures:
         sections.append("## Figure 8 — translation misses vs TLB/DLB size")
@@ -104,14 +152,9 @@ def generate_report(
     # timing: table 4 and figure 10
     # ------------------------------------------------------------------
     rows = {}
-    timing_cache = {}
     for entries in (8, 16):
-        for label, scheme in ((f"L0-TLB/{entries}", Scheme.L0_TLB), (f"DLB/{entries}", Scheme.V_COMA)):
-            rows[label] = {}
-            for name in workloads:
-                run = run_timing(params, scheme, workload_for(name), entries)
-                rows[label][name] = run
-                timing_cache[(label, name)] = run
+        for label in (f"L0-TLB/{entries}", f"DLB/{entries}"):
+            rows[label] = {name: timing_cache[(label, name)] for name in workloads}
     sections.append("## Table 4 — translation stall / memory stall (%)")
     sections.append(_fence(render_overhead_table(rows)))
 
@@ -119,17 +162,10 @@ def generate_report(
         sections.append("## Figure 10 — execution-time breakdown (normalized to L0-TLB/8)")
         for name in workloads:
             if name == "raytrace":
-                # The padding pathology is bandwidth-borne: these three
-                # bars run with port contention enabled.
-                intensity = intensities.get("raytrace", 1.0)
-                bars = {}
-                for label, scheme, workload in (
-                    ("TLB/8", Scheme.L0_TLB, workload_for("raytrace")),
-                    ("DLB/8", Scheme.V_COMA, workload_for("raytrace")),
-                    ("DLB/8/V2", Scheme.V_COMA, RaytraceWorkload.v2(intensity=intensity)),
-                ):
-                    run = run_timing(params, scheme, workload, 8, contention=True)
-                    bars[label] = run.average_breakdown()
+                bars = {
+                    label: finished[f"raytrace-contention:{label}"].average_breakdown()
+                    for label in ("TLB/8", "DLB/8", "DLB/8/V2")
+                }
             else:
                 bars = {
                     "TLB/8": timing_cache[("L0-TLB/8", name)].average_breakdown(),

@@ -49,6 +49,20 @@ class Cache:
         Used in ``repr`` and error messages only.
     """
 
+    __slots__ = (
+        "name",
+        "size",
+        "block_size",
+        "assoc",
+        "sets",
+        "_offset_mask",
+        "_set_mask",
+        "_block_shift",
+        "_sets",
+        "hits",
+        "misses",
+    )
+
     def __init__(self, size: int, block_size: int, assoc: int, name: str = "cache") -> None:
         if size <= 0 or block_size <= 0 or assoc <= 0:
             raise ConfigurationError("cache geometry must be positive")
@@ -99,7 +113,7 @@ class Cache:
         ``touch`` refreshes LRU order on a hit (pass False for snoops).
         """
         block = addr & ~self._offset_mask
-        cache_set = self._set_for(addr)
+        cache_set = self._sets[(addr >> self._block_shift) & self._set_mask]
         if block in cache_set:
             self.hits += 1
             if touch:
@@ -114,14 +128,16 @@ class Cache:
 
     def state_of(self, addr: int) -> Optional[int]:
         """Current state of the resident block, or None when absent."""
-        return self._set_for(addr).get(addr & ~self._offset_mask)
+        return self._sets[(addr >> self._block_shift) & self._set_mask].get(
+            addr & ~self._offset_mask
+        )
 
     def insert(self, addr: int, state: int = CLEAN_SHARED) -> Optional[EvictedBlock]:
         """Fill the block holding ``addr``; returns the LRU victim when
         the set was full (the caller decides whether a dirty victim
         produces a writeback)."""
         block = addr & ~self._offset_mask
-        cache_set = self._set_for(addr)
+        cache_set = self._sets[(addr >> self._block_shift) & self._set_mask]
         if block in cache_set:
             # Refresh LRU; never downgrade state on a refill.
             old = cache_set.pop(block)
@@ -147,19 +163,20 @@ class Cache:
         """Remove the block holding ``addr`` if present; returns it (with
         its state) so callers can propagate dirty data upward."""
         block = addr & ~self._offset_mask
-        cache_set = self._set_for(addr)
-        if block in cache_set:
-            return EvictedBlock(block, cache_set.pop(block))
-        return None
+        state = self._sets[(addr >> self._block_shift) & self._set_mask].pop(block, None)
+        return None if state is None else EvictedBlock(block, state)
 
     def invalidate_span(self, base: int, span: int) -> Iterator[EvictedBlock]:
         """Invalidate every cache block inside ``[base, base+span)`` —
         used to keep inclusion when a larger upper-level block leaves."""
         start = base & ~self._offset_mask
+        sets = self._sets
+        shift = self._block_shift
+        set_mask = self._set_mask
         for block in range(start, base + span, self.block_size):
-            evicted = self.invalidate(block)
-            if evicted is not None:
-                yield evicted
+            state = sets[(block >> shift) & set_mask].pop(block, None)
+            if state is not None:
+                yield EvictedBlock(block, state)
 
     def downgrade_span(self, base: int, span: int, state: int = CLEAN_SHARED) -> Iterator[EvictedBlock]:
         """Downgrade every resident block inside ``[base, base+span)`` to

@@ -13,7 +13,11 @@
 
 Every command accepts the machine options (``--nodes``, ``--factor``,
 ``--page-size``, ``--seed``) and ``--refs`` to bound references per
-node.  Output is plain text, identical to the benchmark harness's.
+node.  Simulation-grid commands (``sweep``, ``timing``, ``table2-4``,
+``report``) also accept ``--jobs N`` to shard independent simulations
+across worker processes, ``--cache-dir`` to relocate the persistent
+result cache, and ``--no-cache`` to bypass it.  Output is plain text,
+identical to the benchmark harness's.
 """
 
 from __future__ import annotations
@@ -30,7 +34,7 @@ from repro.analysis import (
     render_overhead_table,
     render_dm_vs_fa,
     render_pressure_profile,
-    run_miss_sweep,
+    run_sweep_studies,
     run_timing,
 )
 from repro.common.params import MachineParams
@@ -55,6 +59,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--paper-machine", action="store_true",
                        help="use the exact Section 5.1 configuration (slow)")
 
+    def add_runner_options(p):
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for independent simulations")
+        p.add_argument("--cache-dir", default=None,
+                       help="persistent result-cache directory "
+                            "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="neither read nor write the persistent result cache")
+
     p = sub.add_parser("describe", help="print the machine configuration")
     add_machine_options(p)
 
@@ -66,6 +79,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dm", action="store_true", help="also show direct-mapped curves (Figure 9)")
     p.add_argument("--intensity", type=float, default=1.0)
     add_machine_options(p)
+    add_runner_options(p)
 
     p = sub.add_parser("timing", help="coupled timing run (Table 4 cell)")
     p.add_argument("workload", choices=sorted(WORKLOADS))
@@ -75,12 +89,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dm", action="store_true", help="direct-mapped TLB/DLB")
     p.add_argument("--intensity", type=float, default=1.0)
     add_machine_options(p)
+    add_runner_options(p)
 
     for table in ("table2", "table3", "table4"):
         p = sub.add_parser(table, help=f"regenerate paper {table.capitalize()}")
         p.add_argument("workloads", nargs="*", default=[])
         p.add_argument("--intensity", type=float, default=1.0)
         add_machine_options(p)
+        add_runner_options(p)
 
     p = sub.add_parser("report", help="run the full evaluation and write a markdown report")
     p.add_argument("--out", default="reproduction_report.md")
@@ -88,6 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="tables only (much faster)")
     p.add_argument("workloads", nargs="*", default=[])
     add_machine_options(p)
+    add_runner_options(p)
 
     p = sub.add_parser("validate", help="check the paper's shape-claims on this configuration")
     p.add_argument("--full", action="store_true", help="complete streams (slow)")
@@ -136,17 +153,34 @@ def _workload_list(args) -> List[str]:
     return names
 
 
-def _sweep_studies(params, names, args, sizes=(8, 32, 128, 512)):
-    studies = {}
-    for name in names:
-        result = run_miss_sweep(
-            params,
-            make_workload(name, intensity=args.intensity),
-            sizes=sizes,
-            max_refs_per_node=args.refs,
-        )
-        studies[name] = result.study_results()
-    return studies
+def batch_runner(args, progress=None):
+    """A :class:`~repro.runner.batch.BatchRunner` from CLI options.
+
+    The persistent cache is on by default; ``--no-cache`` bypasses it
+    and ``--cache-dir`` relocates it.
+    """
+    from repro.runner import BatchRunner, ResultCache
+
+    cache = None if getattr(args, "no_cache", False) else ResultCache(
+        getattr(args, "cache_dir", None)
+    )
+    return BatchRunner(jobs=getattr(args, "jobs", 1), cache=cache, progress=progress)
+
+
+def _print_progress(done: int, total: int, job) -> None:
+    origin = "cache" if job.from_cache else f"{job.elapsed:.1f}s"
+    sys.stderr.write(f"[{done}/{total}] {job.spec.describe()} ({origin})\n")
+
+
+def _sweep_studies(params, names, args, runner, sizes=(8, 32, 128, 512)):
+    return run_sweep_studies(
+        params,
+        names,
+        sizes=sizes,
+        intensities={name: args.intensity for name in names},
+        max_refs_per_node=args.refs,
+        runner=runner,
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -168,28 +202,30 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "sweep":
         sizes = tuple(int(s) for s in args.sizes.split(","))
-        result = run_miss_sweep(
-            params,
-            make_workload(args.workload, intensity=args.intensity),
-            sizes=sizes,
-            max_refs_per_node=args.refs,
+        studies = _sweep_studies(
+            params, [args.workload], args, batch_runner(args), sizes=sizes
         )
-        study = result.study_results()
+        study = studies[args.workload]
         out.write(render_miss_curves(args.workload, study) + "\n")
         if args.dm:
             out.write("\n" + render_dm_vs_fa(args.workload, study) + "\n")
         return 0
 
     if args.command == "timing":
+        from repro.runner import JobSpec
+
         org = Organization.DIRECT_MAPPED if args.dm else Organization.FULLY_ASSOCIATIVE
-        result = run_timing(
+        spec = JobSpec.timing(
             params,
             Scheme(args.scheme),
-            make_workload(args.workload, intensity=args.intensity),
+            args.workload,
             args.entries,
             organization=org,
             max_refs_per_node=args.refs,
+            overrides={"intensity": args.intensity},
         )
+        (job,) = batch_runner(args).run([spec])
+        result = job.summary
         breakdown = result.average_breakdown()
         out.write(f"scheme        : {args.scheme}\n")
         out.write(f"total time    : {result.total_time:,} cycles\n")
@@ -211,47 +247,55 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "table2":
-        studies = _sweep_studies(params, _workload_list(args), args, sizes=(8, 32, 128))
+        studies = _sweep_studies(
+            params, _workload_list(args), args, batch_runner(args), sizes=(8, 32, 128)
+        )
         out.write(render_miss_rate_table(studies, sizes=(8, 32, 128)) + "\n")
         return 0
 
     if args.command == "table3":
-        studies = _sweep_studies(params, _workload_list(args), args)
+        studies = _sweep_studies(params, _workload_list(args), args, batch_runner(args))
         out.write(render_equivalent_size_table(studies, dlb_entries=8) + "\n")
         return 0
 
     if args.command == "table4":
-        rows = {}
+        from repro.runner import JobSpec
+
         names = _workload_list(args)
+        specs = []
         for entries in (8, 16):
-            rows[f"L0-TLB/{entries}"] = {
-                name: run_timing(
-                    params, Scheme.L0_TLB,
-                    make_workload(name, intensity=args.intensity),
-                    entries, max_refs_per_node=args.refs,
+            for prefix, scheme in ((f"L0-TLB/{entries}", Scheme.L0_TLB), (f"DLB/{entries}", Scheme.V_COMA)):
+                specs.extend(
+                    JobSpec.timing(
+                        params, scheme, name, entries,
+                        max_refs_per_node=args.refs,
+                        overrides={"intensity": args.intensity},
+                        label=f"{prefix}:{name}",
+                    )
+                    for name in names
                 )
-                for name in names
-            }
-            rows[f"DLB/{entries}"] = {
-                name: run_timing(
-                    params, Scheme.V_COMA,
-                    make_workload(name, intensity=args.intensity),
-                    entries, max_refs_per_node=args.refs,
-                )
-                for name in names
-            }
+        finished = {job.spec.label: job.summary for job in batch_runner(args).run(specs)}
+        rows = {}
+        for entries in (8, 16):
+            for prefix in (f"L0-TLB/{entries}", f"DLB/{entries}"):
+                rows[prefix] = {name: finished[f"{prefix}:{name}"] for name in names}
         out.write(render_overhead_table(rows) + "\n")
         return 0
 
     if args.command == "report":
         from repro.analysis.report import write_report
+        from repro.runner import ResultCache
 
         names = _workload_list(args)
+        cache = None if args.no_cache else ResultCache(args.cache_dir)
         text = write_report(
             args.out,
             params=params,
             workloads=names,
             include_figures=not args.no_figures,
+            jobs=args.jobs,
+            cache=cache,
+            progress=_print_progress,
         )
         out.write(f"wrote {args.out} ({len(text.splitlines())} lines)\n")
         return 0

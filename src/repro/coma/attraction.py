@@ -40,6 +40,11 @@ class AttractionMemory:
         self.sets = layout.am_sets
         # _sets[i]: block base -> AMState, LRU order (oldest first).
         self._sets: List[Dict[int, AMState]] = [dict() for _ in range(self.sets)]
+        # The layout's block/set arithmetic, pre-resolved: lookup() runs
+        # several times per simulated reference.
+        self._block_shift = layout.block_bits
+        self._block_mask = ~((1 << layout.block_bits) - 1)
+        self._set_mask = layout.am_sets - 1
         self.hits = 0
         self.misses = 0
 
@@ -53,7 +58,7 @@ class AttractionMemory:
         return self.misses / self.accesses if self.accesses else 0.0
 
     def _set_for(self, addr: int) -> Dict[int, AMState]:
-        return self._sets[self.layout.am_set_index(addr)]
+        return self._sets[(addr >> self._block_shift) & self._set_mask]
 
     def block_base(self, addr: int) -> int:
         return self.layout.block_base(addr)
@@ -62,8 +67,8 @@ class AttractionMemory:
     def lookup(self, addr: int, touch: bool = True) -> AMState:
         """Probe the block holding ``addr``; counts a hit or miss and
         (on hit) refreshes LRU order.  Returns INVALID on a miss."""
-        block = self.layout.block_base(addr)
-        am_set = self._set_for(addr)
+        block = addr & self._block_mask
+        am_set = self._sets[(addr >> self._block_shift) & self._set_mask]
         state = am_set.get(block)
         if state is None or state is AMState.INVALID:
             self.misses += 1

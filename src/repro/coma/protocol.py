@@ -35,6 +35,7 @@ from repro.common.stats import Counters
 from repro.coma.attraction import AttractionMemory
 from repro.coma.directory import Directory
 from repro.coma.states import AMState
+from repro.core.schemes import TapPoint
 from repro.interconnect.crossbar import Crossbar
 from repro.interconnect.message import MessageKind
 
@@ -52,6 +53,18 @@ class TranslationAgent:
     experiments or charge real TLB/DLB models for the timing runs.
     Every method returns extra stall cycles.
     """
+
+    def uses_tap(self, tap: TapPoint) -> bool:
+        """Does this agent do anything at ``tap``?
+
+        Callers on the per-reference hot path (``Node``, the engine)
+        query this once at construction and skip the ``at_*`` call
+        entirely when it would be a no-op.  Agents whose taps are all
+        no-ops anyway (the base class) still answer True — correctness
+        never depends on a tap being called, only timing agents charge
+        cycles and they answer precisely.
+        """
+        return True
 
     def at_l0(self, node: int, vpn: int) -> int:
         return 0
@@ -106,6 +119,10 @@ class ProtocolEngine:
         self.layout = layout
         self.crossbar = crossbar
         self.agent = agent if agent is not None else TranslationAgent()
+        # Pre-resolve the engine-side taps; None means the agent declared
+        # the tap a no-op, so the hot paths skip the call outright.
+        self._at_l3 = self.agent.at_l3 if self.agent.uses_tap(TapPoint.L3) else None
+        self._at_home = self.agent.at_home if self.agent.uses_tap(TapPoint.HOME) else None
         self.inclusion_hook = inclusion_hook or (lambda node, block, action: None)
         self._rng = rng if rng is not None else random.Random(params.seed)
         self.ams: List[AttractionMemory] = [
@@ -148,9 +165,10 @@ class ProtocolEngine:
         injection: bool = False,
         requester: Optional[int] = None,
     ) -> int:
-        penalty = self.agent.at_home(
-            home, self._vpn(addr), for_ownership, injection, requester=requester
-        )
+        at_home = self._at_home
+        if at_home is None:
+            return self.params.directory_lookup_latency
+        penalty = at_home(home, self._vpn(addr), for_ownership, injection, requester=requester)
         if not injection:
             self._translation_accum += penalty
         return self.params.directory_lookup_latency + penalty
@@ -216,7 +234,8 @@ class ProtocolEngine:
         """Fetch a block copy from the system; returns stall cycles
         beyond the local AM lookup."""
         self.counters.add("remote_writes" if is_write else "remote_reads")
-        penalty = self.agent.at_l3(node, self._vpn(block))
+        at_l3 = self._at_l3
+        penalty = at_l3(node, self._vpn(block)) if at_l3 is not None else 0
         self._translation_accum += penalty
         home = self.home_of(block)
         t = now + penalty
@@ -283,7 +302,8 @@ class ProtocolEngine:
         """Gain exclusive ownership of a block the node already holds
         (Shared or Master-shared); returns stall cycles."""
         self.counters.add("upgrades")
-        penalty = self.agent.at_l3(node, self._vpn(block))
+        at_l3 = self._at_l3
+        penalty = at_l3(node, self._vpn(block)) if at_l3 is not None else 0
         self._translation_accum += penalty
         home = self.home_of(block)
         t = now + penalty

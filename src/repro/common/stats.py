@@ -131,7 +131,7 @@ class LatencyHistogram:
         return "\n".join(lines)
 
 
-@dataclass
+@dataclass(slots=True)
 class TimeBreakdown:
     """Per-node execution-time account, in processor cycles.
 
@@ -189,7 +189,7 @@ class TimeBreakdown:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
-@dataclass
+@dataclass(slots=True)
 class AverageBreakdown:
     """A :class:`TimeBreakdown` averaged over nodes (float-valued)."""
 

@@ -52,6 +52,20 @@ class TranslationBuffer:
         deterministic stream is created when omitted.
     """
 
+    __slots__ = (
+        "entries",
+        "organization",
+        "assoc",
+        "sets",
+        "_rng",
+        "_getrandbits",
+        "_assoc_bits",
+        "_tags",
+        "_where",
+        "accesses",
+        "misses",
+    )
+
     def __init__(
         self,
         entries: int,
@@ -75,6 +89,11 @@ class TranslationBuffer:
         self.assoc = assoc
         self.sets = entries // assoc
         self._rng = rng if rng is not None else make_rng(0, "tlb", entries, organization.value)
+        # Victim selection inlines random.Random._randbelow (rejection
+        # sampling over bit_length bits), so the drawn stream — and
+        # therefore every miss count — is identical to randrange's.
+        self._getrandbits = self._rng.getrandbits
+        self._assoc_bits = assoc.bit_length()
         # One list of tags per set; position in the list is the way.
         self._tags: List[List[int]] = [[] for _ in range(self.sets)]
         self._where: Dict[int, Tuple[int, int]] = {}
@@ -108,19 +127,35 @@ class TranslationBuffer:
         self.accesses += 1
         if page in self._where:
             return True
+        self._install(page)
+        return False
+
+    def _install(self, page: int) -> None:
+        """Miss path: count the miss and install the translation,
+        evicting a random victim when the set is full.  Split out so the
+        :class:`TranslationBank` fan-out can inline the (dominant) hit
+        check without duplicating replacement logic."""
+        where = self._where
         self.misses += 1
-        set_idx = self._set_of(page)
+        set_idx = page % self.sets
         ways = self._tags[set_idx]
         if len(ways) < self.assoc:
-            self._where[page] = (set_idx, len(ways))
+            where[page] = (set_idx, len(ways))
             ways.append(page)
         else:
-            way = self._rng.randrange(self.assoc) if self.assoc > 1 else 0
+            assoc = self.assoc
+            if assoc > 1:
+                getrandbits = self._getrandbits
+                bits = self._assoc_bits
+                way = getrandbits(bits)
+                while way >= assoc:
+                    way = getrandbits(bits)
+            else:
+                way = 0
             victim = ways[way]
-            del self._where[victim]
+            del where[victim]
             ways[way] = page
-            self._where[page] = (set_idx, way)
-        return False
+            where[page] = (set_idx, way)
 
     def probe(self, page: int) -> bool:
         """Like :meth:`access` but without installing on a miss (models a
@@ -178,6 +213,8 @@ class TranslationBank:
     #: Ways used for SET_ASSOCIATIVE bank members (capped by entries).
     SET_ASSOC_WAYS = 4
 
+    __slots__ = ("buffers", "_buffer_list", "_fanout", "accesses")
+
     def __init__(self, configs: Iterable[Tuple[int, Organization]], seed: int = 0, name: str = "bank") -> None:
         self.buffers: Dict[Tuple[int, Organization], TranslationBuffer] = {}
         for entries, organization in configs:
@@ -193,21 +230,38 @@ class TranslationBank:
                 assoc=assoc,
                 rng=make_rng(seed, name, entries, organization.value),
             )
+        self._buffer_list = list(self.buffers.values())
+        self._fanout = [(buf._where, buf._install) for buf in self._buffer_list]
         self.accesses = 0
 
     def access(self, page: int) -> None:
+        # Hot path of every sweep simulation: one hierarchy access fans
+        # out to every (size, organization) buffer.  The presence dict
+        # and the miss-path bound method are pre-resolved, the hit check
+        # is inlined (hits dominate), and the per-buffer access count —
+        # identical across members by construction — is materialized
+        # lazily by _sync_access_counts rather than bumped per access.
         self.accesses += 1
-        for buffer in self.buffers.values():
-            buffer.access(page)
+        for where, install in self._fanout:
+            if page not in where:
+                install(page)
+
+    def _sync_access_counts(self) -> None:
+        """Propagate the bank access count to the member buffers (every
+        member observes the same stream)."""
+        for buffer in self._buffer_list:
+            buffer.accesses = self.accesses
 
     def misses(self, entries: int, organization: Organization = Organization.FULLY_ASSOCIATIVE) -> int:
         return self.buffers[(entries, organization)].misses
 
     def miss_rate(self, entries: int, organization: Organization = Organization.FULLY_ASSOCIATIVE) -> float:
+        self._sync_access_counts()
         return self.buffers[(entries, organization)].miss_rate
 
     def results(self) -> Dict[Tuple[int, str], int]:
         """Miss counts keyed by ``(entries, organization value)``."""
+        self._sync_access_counts()
         return {
             (entries, org.value): buf.misses
             for (entries, org), buf in self.buffers.items()

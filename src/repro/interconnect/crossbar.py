@@ -47,6 +47,19 @@ class Crossbar:
         self.topology = topology
         self.counters = Counters()
         self._port_free_at: List[int] = [0] * params.nodes
+        # Per-kind (counter name, base cycles, payload bytes), fixed by
+        # the geometry — transfer() is on every message's path and must
+        # not rebuild strings or re-derive sizes.
+        self._kind_info = {}
+        for kind in MessageKind:
+            if kind.carries_block:
+                base = params.block_msg_cycles
+                payload = params.am_block + params.message_header_bytes
+            else:
+                base = params.request_msg_cycles
+                payload = params.request_payload_bytes
+            self._kind_info[kind] = (f"msg_{kind.value}", base, payload)
+        self._counter_values = self.counters._values
 
     def cycles_for(self, kind: MessageKind, src: int = 0, dst: int = 1) -> int:
         """Latency of one message in processor cycles (0 if node-local
@@ -66,25 +79,25 @@ class Crossbar:
         Returns the completion time.  Local (``src == dst``) transfers
         are free and bypass the port model.
         """
-        self.counters.add(f"msg_{kind.value}")
+        values = self._counter_values
+        name, cycles, payload = self._kind_info[kind]
+        values[name] = values.get(name, 0) + 1
         if src == dst:
-            self.counters.add("msg_local")
+            values["msg_local"] = values.get("msg_local", 0) + 1
             return now
-        cycles = self.cycles_for(kind, src, dst)
-        self.counters.add("msg_remote")
-        self.counters.add("network_cycles", cycles)
-        if kind.carries_block:
-            payload = self.params.am_block + self.params.message_header_bytes
-        else:
-            payload = self.params.request_payload_bytes
-        self.counters.add("payload_bytes", payload)
+        if self.topology is not None:
+            extra_hops = self.topology.hops(src, dst) - 1
+            cycles += extra_hops * self.params.router_latency_cycles
+        values["msg_remote"] = values.get("msg_remote", 0) + 1
+        values["network_cycles"] = values.get("network_cycles", 0) + cycles
+        values["payload_bytes"] = values.get("payload_bytes", 0) + payload
         if not self.contention:
             return now + cycles
         start = max(now, self._port_free_at[dst])
         done = start + cycles
         self._port_free_at[dst] = done
         if start > now:
-            self.counters.add("contention_cycles", start - now)
+            values["contention_cycles"] = values.get("contention_cycles", 0) + (start - now)
         return done
 
     def traffic_bytes(self) -> int:

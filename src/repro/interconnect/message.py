@@ -32,11 +32,14 @@ class MessageKind(enum.Enum):
 
     @property
     def carries_block(self) -> bool:
-        return self in (
-            MessageKind.BLOCK_REPLY,
-            MessageKind.INJECT,
-            MessageKind.INJECT_FORWARD,
-        )
+        return self in _BLOCK_KINDS
+
+
+#: Block-payload kinds, as a set so ``carries_block`` is one hash probe
+#: (it runs once or twice per simulated message).
+_BLOCK_KINDS = frozenset(
+    (MessageKind.BLOCK_REPLY, MessageKind.INJECT, MessageKind.INJECT_FORWARD)
+)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,40 @@
+"""Batch execution: job specs, a parallel runner, and a persistent cache.
+
+The paper's artifacts (Figures 8-11, Tables 2-4) are produced by
+embarrassingly parallel, fully deterministic simulations.  This package
+turns each simulation into a picklable :class:`JobSpec`, fans a grid of
+them across ``multiprocessing`` workers with :class:`BatchRunner`, and
+memoizes finished runs on disk with :class:`ResultCache` so repeated
+invocations of ``repro report``, the table commands, and the benchmark
+harness never re-simulate a design point they have already seen.
+
+Quick start::
+
+    from repro import MachineParams
+    from repro.runner import BatchRunner, JobSpec, ResultCache
+
+    params = MachineParams.scaled_down(factor=8, nodes=8, page_size=512)
+    specs = [JobSpec.sweep(params, name) for name in ("ocean", "fft")]
+    runner = BatchRunner(jobs=4, cache=ResultCache())
+    for job in runner.run(specs):
+        print(job.spec.workload, job.summary.study_results().curve(...))
+
+Results come back as :class:`RunSummary` objects — picklable,
+JSON-serializable snapshots that expose the same analysis surface as
+:class:`~repro.system.results.RunResult` (breakdowns, overhead ratios,
+sweep studies, timing summaries) without holding the machine alive.
+"""
+
+from repro.runner.batch import BatchRunner, JobResult
+from repro.runner.cache import ResultCache, default_cache_dir
+from repro.runner.jobs import JobSpec
+from repro.runner.summary import RunSummary
+
+__all__ = [
+    "BatchRunner",
+    "JobResult",
+    "JobSpec",
+    "ResultCache",
+    "RunSummary",
+    "default_cache_dir",
+]

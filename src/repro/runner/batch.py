@@ -1,0 +1,134 @@
+"""Fan a grid of independent simulations across worker processes.
+
+Every job is deterministic given its spec (all randomness derives from
+``MachineParams.seed`` via named substreams), so sharding a grid across
+``multiprocessing`` workers is pure divide-and-conquer: results are
+bit-identical to a serial run, whatever the worker count or completion
+order.  The runner preserves submission order in its result list, calls
+an optional progress callback as jobs finish, times each job, and falls
+back to in-process execution when ``jobs <= 1``, when only one job is
+pending, or on platforms without ``fork`` (pickling a live pool of
+workload generators requires fork semantics).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.runner.cache import ResultCache
+from repro.runner.jobs import JobSpec
+from repro.runner.summary import RunSummary
+
+#: progress(done_so_far, total, job_result) — called as each job lands.
+ProgressCallback = Callable[[int, int, "JobResult"], None]
+
+
+@dataclass
+class JobResult:
+    """One finished job: its spec, summary, and provenance."""
+
+    spec: JobSpec
+    summary: RunSummary
+    elapsed: float
+    from_cache: bool = False
+
+
+def _execute_indexed(item: Tuple[int, JobSpec]) -> Tuple[int, RunSummary, float]:
+    """Worker entry point (top-level so it pickles)."""
+    index, spec = item
+    started = time.perf_counter()
+    summary = spec.execute()
+    return index, summary, time.perf_counter() - started
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class BatchRunner:
+    """Runs :class:`JobSpec` grids, optionally parallel and cached.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``1`` (default) runs everything in-process.
+    cache:
+        A :class:`ResultCache` consulted before and fed after every
+        simulation; ``None`` disables persistence.
+    progress:
+        Optional callback invoked (in the parent) once per finished job,
+        including cache hits.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.progress = progress
+        #: Simulations actually executed (cache hits excluded) — the
+        #: "zero new simulations on a warm cache" observable.
+        self.simulations_run = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Iterable[JobSpec]) -> List[JobResult]:
+        """Execute every spec; results come back in submission order."""
+        specs = list(specs)
+        total = len(specs)
+        results: List[Optional[JobResult]] = [None] * total
+        done = 0
+
+        pending: List[Tuple[int, JobSpec]] = []
+        for index, spec in enumerate(specs):
+            cached = self.cache.get(spec) if self.cache is not None else None
+            if cached is not None:
+                job = JobResult(spec, cached, elapsed=0.0, from_cache=True)
+                results[index] = job
+                self.cache_hits += 1
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, total, job)
+            else:
+                pending.append((index, spec))
+
+        def record(index: int, summary: RunSummary, elapsed: float) -> None:
+            nonlocal done
+            spec = specs[index]
+            job = JobResult(spec, summary, elapsed=elapsed)
+            results[index] = job
+            self.simulations_run += 1
+            done += 1
+            if self.cache is not None:
+                self.cache.put(spec, summary, elapsed=elapsed)
+            if self.progress is not None:
+                self.progress(done, total, job)
+
+        if pending:
+            if self.jobs > 1 and len(pending) > 1 and _fork_available():
+                ctx = multiprocessing.get_context("fork")
+                workers = min(self.jobs, len(pending))
+                with ctx.Pool(processes=workers) as pool:
+                    for index, summary, elapsed in pool.imap_unordered(
+                        _execute_indexed, pending, chunksize=1
+                    ):
+                        record(index, summary, elapsed)
+            else:
+                for item in pending:
+                    record(*_execute_indexed(item))
+
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def run_labelled(self, specs: Sequence[JobSpec]) -> dict:
+        """Like :meth:`run`, keyed by each spec's label (or describe())."""
+        return {
+            job.spec.label or job.spec.describe(): job.summary
+            for job in self.run(specs)
+        }

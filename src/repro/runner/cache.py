@@ -1,0 +1,121 @@
+"""Persistent on-disk memoization of finished simulations.
+
+Layout: one JSON file per job under ``<root>/<hh>/<hash>.json`` where
+``hash`` is :meth:`JobSpec.content_hash` (spec content + package
+version) and ``hh`` its first two hex digits.  Files carry the spec's
+canonical key alongside the summary so a cache directory is inspectable
+with nothing but ``jq``.
+
+Invalidation is by construction: any change to the spec *or* a package
+version bump produces a different hash, so stale entries are simply
+never read again (``clear()`` reclaims the space).  Writes go through a
+temp file + ``os.replace`` so concurrent workers never expose a torn
+entry.
+
+The default root is ``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``,
+else ``~/.cache/repro``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.runner.jobs import JobSpec
+from repro.runner.summary import RunSummary
+
+#: Environment override for the cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Bumped when the on-disk schema changes shape.
+CACHE_FORMAT = 1
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root from the environment."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    if xdg:
+        return Path(xdg) / "repro"
+    return Path.home() / ".cache" / "repro"
+
+
+class ResultCache:
+    """Content-addressed store of :class:`RunSummary` objects."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, spec: JobSpec) -> Path:
+        digest = spec.content_hash()
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, spec: JobSpec) -> Optional[RunSummary]:
+        """The cached summary for ``spec``, or None."""
+        path = self.path_for(spec)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if data.get("format") != CACHE_FORMAT:
+            self.misses += 1
+            return None
+        try:
+            summary = RunSummary.from_dict(data["summary"])
+        except (KeyError, TypeError, ValueError):
+            # Corrupt or hand-edited entry: treat as absent.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def put(self, spec: JobSpec, summary: RunSummary, elapsed: Optional[float] = None) -> Path:
+        """Store one finished run; returns the entry's path."""
+        from repro import __version__
+
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": CACHE_FORMAT,
+            "version": __version__,
+            "key": spec.key(),
+            "elapsed": elapsed,
+            "summary": summary.to_dict(),
+        }
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)
+        return path
+
+    def contains(self, spec: JobSpec) -> bool:
+        return self.path_for(spec).is_file()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for entry in self.root.glob("*/*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:
+        return f"ResultCache({self.root}, entries={len(self)})"

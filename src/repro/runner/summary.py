@@ -1,0 +1,151 @@
+"""Detached run results: what survives a worker process or a cache file.
+
+:class:`~repro.system.results.RunResult` holds the whole
+:class:`~repro.system.machine.Machine` (closures included), so it can
+neither cross a process boundary nor be written to disk.  A
+:class:`RunSummary` is the picklable, JSON-serializable subset that the
+analysis layer actually consumes: per-node time breakdowns, merged
+counters, the TLB/DLB timing summary, and (for sweep runs) the full
+:class:`~repro.system.taps.StudyResults` surface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.stats import AverageBreakdown, TimeBreakdown
+from repro.core.schemes import Scheme
+from repro.system.taps import StudyResults
+
+
+class RunSummary:
+    """A self-contained snapshot of one finished simulation.
+
+    Mirrors the read-side API of :class:`~repro.system.results.RunResult`
+    (``average_breakdown``, ``translation_overhead_ratio``,
+    ``timing_summary``, ``study_results``, ...) so tables and figures
+    accept either interchangeably.
+    """
+
+    __slots__ = (
+        "scheme",
+        "workload_name",
+        "total_time",
+        "refs_per_node",
+        "barriers",
+        "breakdowns",
+        "counters",
+        "timing",
+        "study",
+    )
+
+    def __init__(
+        self,
+        scheme: Scheme,
+        workload_name: str,
+        total_time: int,
+        refs_per_node: List[int],
+        barriers: int,
+        breakdowns: List[TimeBreakdown],
+        counters: Dict[str, int],
+        timing: Optional[Dict[str, float]] = None,
+        study: Optional[StudyResults] = None,
+    ) -> None:
+        self.scheme = scheme
+        self.workload_name = workload_name
+        self.total_time = total_time
+        self.refs_per_node = list(refs_per_node)
+        self.barriers = barriers
+        self.breakdowns = list(breakdowns)
+        self.counters = dict(counters)
+        self.timing = timing
+        self.study = study
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_result(cls, result) -> "RunSummary":
+        """Snapshot a live :class:`~repro.system.results.RunResult`."""
+        return cls(
+            scheme=result.scheme,
+            workload_name=result.workload_name,
+            total_time=result.total_time,
+            refs_per_node=result.refs_per_node,
+            barriers=result.barriers,
+            breakdowns=result.breakdowns,
+            counters=result.counters.to_dict(),
+            timing=result.timing_summary(),
+            study=result.study_results(),
+        )
+
+    # -- RunResult-compatible surface -----------------------------------
+    @property
+    def total_references(self) -> int:
+        return sum(self.refs_per_node)
+
+    def aggregate_breakdown(self) -> TimeBreakdown:
+        total = TimeBreakdown()
+        for breakdown in self.breakdowns:
+            total = total + breakdown
+        return total
+
+    def average_breakdown(self) -> AverageBreakdown:
+        return self.aggregate_breakdown().scaled(len(self.breakdowns))
+
+    def translation_overhead_ratio(self) -> float:
+        return self.aggregate_breakdown().translation_overhead_ratio()
+
+    def timing_summary(self) -> Optional[Dict[str, float]]:
+        return self.timing
+
+    def study_results(self) -> Optional[StudyResults]:
+        return self.study
+
+    def summary(self) -> Dict[str, float]:
+        breakdown = self.average_breakdown()
+        return {
+            "scheme": self.scheme.value,
+            "workload": self.workload_name,
+            "total_time": self.total_time,
+            "references": self.total_references,
+            "busy": breakdown.busy,
+            "sync": breakdown.sync,
+            "loc_stall": breakdown.loc_stall,
+            "rem_stall": breakdown.rem_stall,
+            "tlb_stall": breakdown.tlb_stall,
+        }
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (used by the persistent result cache)."""
+        return {
+            "scheme": self.scheme.value,
+            "workload": self.workload_name,
+            "total_time": self.total_time,
+            "refs_per_node": list(self.refs_per_node),
+            "barriers": self.barriers,
+            "breakdowns": [breakdown.to_dict() for breakdown in self.breakdowns],
+            "counters": dict(self.counters),
+            "timing": self.timing,
+            "study": self.study.to_dict() if self.study is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunSummary":
+        study = data.get("study")
+        return cls(
+            scheme=Scheme(data["scheme"]),
+            workload_name=data["workload"],
+            total_time=data["total_time"],
+            refs_per_node=data["refs_per_node"],
+            barriers=data["barriers"],
+            breakdowns=[TimeBreakdown(**fields) for fields in data["breakdowns"]],
+            counters=data["counters"],
+            timing=data.get("timing"),
+            study=StudyResults.from_dict(study) if study is not None else None,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RunSummary({self.scheme.value}/{self.workload_name}, "
+            f"time={self.total_time}, refs={self.total_references})"
+        )

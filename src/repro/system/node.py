@@ -22,7 +22,7 @@ from repro.cache.cache import CLEAN_EXCLUSIVE, CLEAN_SHARED, DIRTY, Cache
 from repro.common.params import MachineParams
 from repro.common.stats import Counters, LatencyHistogram, TimeBreakdown
 from repro.coma.protocol import ProtocolEngine, TranslationAgent
-from repro.core.schemes import Scheme
+from repro.core.schemes import Scheme, TapPoint
 
 #: Address-space converters; identity when the spaces coincide.
 AddrMap = Callable[[int], int]
@@ -30,6 +30,33 @@ AddrMap = Callable[[int], int]
 
 class Node:
     """A processor node wired for one translation scheme."""
+
+    __slots__ = (
+        "id",
+        "params",
+        "scheme",
+        "engine",
+        "agent",
+        "flc",
+        "slc",
+        "counters",
+        "breakdown",
+        "read_latency",
+        "write_latency",
+        "relaxed_writes",
+        "_virtual_flc",
+        "_virtual_slc",
+        "_virtual_am",
+        "_needs_physical",
+        "_to_physical",
+        "_to_virtual",
+        "_page_bits",
+        "_slc_hit",
+        "_at_l0",
+        "_at_l1",
+        "_at_l2",
+        "_counter_values",
+    )
 
     def __init__(
         self,
@@ -70,6 +97,14 @@ class Node:
             raise ValueError(f"scheme {scheme} needs a virtual-to-physical map")
         self._page_bits = params.page_size.bit_length() - 1
         self._slc_hit = params.slc_hit_latency
+        # Pre-resolve the node-side translation taps.  None marks a tap
+        # the agent declared a no-op (e.g. a V-COMA TimingAgent only
+        # acts at the home directory), letting _process skip the call —
+        # these fire up to three times per simulated reference.
+        self._at_l0 = agent.at_l0 if agent.uses_tap(TapPoint.L0) else None
+        self._at_l1 = agent.at_l1 if agent.uses_tap(TapPoint.L1) else None
+        self._at_l2 = agent.at_l2 if agent.uses_tap(TapPoint.L2) else None
+        self._counter_values = self.counters._values
 
     # ------------------------------------------------------------------
     # main entry: one load or store
@@ -98,9 +133,21 @@ class Node:
         return cycles
 
     def _process(self, op_is_write: bool, vaddr: int, now: int) -> int:
+        # Localize everything touched per reference: this method runs
+        # once per simulated load/store and repeated self.X lookups are
+        # a measurable fraction of its cost.
+        node_id = self.id
+        flc = self.flc
+        slc = self.slc
+        breakdown = self.breakdown
+        slc_hit = self._slc_hit
+        at_l0 = self._at_l0
+        at_l1 = self._at_l1
+        at_l2 = self._at_l2
+        values = self._counter_values
+
         vpn = vaddr >> self._page_bits
-        agent = self.agent
-        tlb = agent.at_l0(self.id, vpn)
+        tlb = at_l0(node_id, vpn) if at_l0 is not None else 0
         paddr = self._to_physical(vaddr) if self._needs_physical else vaddr
         flc_addr = vaddr if self._virtual_flc else paddr
         slc_addr = vaddr if self._virtual_slc else paddr
@@ -108,44 +155,49 @@ class Node:
         stall = 0
 
         if not op_is_write:
-            self.counters.add("reads")
-            if not self.flc.lookup(flc_addr):
-                tlb += agent.at_l1(self.id, vpn)
-                if self.slc.lookup(slc_addr):
-                    stall += self._slc_hit
-                    self.breakdown.loc_stall += self._slc_hit
+            values["reads"] = values.get("reads", 0) + 1
+            if not flc.lookup(flc_addr):
+                if at_l1 is not None:
+                    tlb += at_l1(node_id, vpn)
+                if slc.lookup(slc_addr):
+                    stall += slc_hit
+                    breakdown.loc_stall += slc_hit
                 else:
-                    tlb += agent.at_l2(self.id, vpn)
-                    outcome = self.engine.fetch(self.id, proto_addr, False, now + stall + tlb)
+                    if at_l2 is not None:
+                        tlb += at_l2(node_id, vpn)
+                    outcome = self.engine.fetch(node_id, proto_addr, False, now + stall + tlb)
                     stall += outcome.cycles
                     self._attribute(outcome)
                     self._fill_slc(slc_addr, proto_addr, dirty=False)
                 self._fill_flc(flc_addr)
         else:
-            self.counters.add("writes")
-            self.flc.lookup(flc_addr)  # write-through, no-write-allocate
-            tlb += agent.at_l1(self.id, vpn)  # every store reaches the SLC
-            state = self.slc.state_of(slc_addr)
+            values["writes"] = values.get("writes", 0) + 1
+            flc.lookup(flc_addr)  # write-through, no-write-allocate
+            if at_l1 is not None:
+                tlb += at_l1(node_id, vpn)  # every store reaches the SLC
+            state = slc.state_of(slc_addr)
             if state is None:
-                self.slc.lookup(slc_addr)  # count the miss
-                tlb += agent.at_l2(self.id, vpn)
-                outcome = self.engine.fetch(self.id, proto_addr, True, now + stall + tlb)
+                slc.lookup(slc_addr)  # count the miss
+                if at_l2 is not None:
+                    tlb += at_l2(node_id, vpn)
+                outcome = self.engine.fetch(node_id, proto_addr, True, now + stall + tlb)
                 stall += outcome.cycles
                 self._attribute(outcome)
                 self._fill_slc(slc_addr, proto_addr, dirty=True)
             else:
-                self.slc.lookup(slc_addr)  # hit (refresh LRU)
-                stall += self._slc_hit
-                self.breakdown.loc_stall += self._slc_hit
+                slc.lookup(slc_addr)  # hit (refresh LRU)
+                stall += slc_hit
+                breakdown.loc_stall += slc_hit
                 if state == CLEAN_SHARED:
                     # Ownership upgrade below the SLC.
-                    tlb += agent.at_l2(self.id, vpn)
-                    outcome = self.engine.upgrade_for_write(self.id, proto_addr, now + stall + tlb)
+                    if at_l2 is not None:
+                        tlb += at_l2(node_id, vpn)
+                    outcome = self.engine.upgrade_for_write(node_id, proto_addr, now + stall + tlb)
                     stall += outcome.cycles
                     self._attribute(outcome)
-                self.slc.set_state(slc_addr, DIRTY)
+                slc.set_state(slc_addr, DIRTY)
 
-        self.breakdown.tlb_stall += tlb
+        breakdown.tlb_stall += tlb
         return stall + tlb
 
     def _attribute(self, outcome) -> None:
@@ -187,7 +239,8 @@ class Node:
         poor locality)."""
         self.counters.add("slc_writebacks")
         vaddr = slc_block if self._virtual_slc else self._to_virtual(slc_block)
-        self.agent.at_l2(self.id, vaddr >> self._page_bits, writeback=True)
+        if self._at_l2 is not None:
+            self._at_l2(self.id, vaddr >> self._page_bits, writeback=True)
         proto = vaddr if self._virtual_am else self._to_physical(vaddr)
         self.engine.writeback(self.id, proto, 0)
 
@@ -234,7 +287,8 @@ class Node:
     def _write_back_downgraded(self, slc_block: int) -> None:
         self.counters.add("slc_coherence_writebacks")
         vaddr = slc_block if self._virtual_slc else self._to_virtual(slc_block)
-        self.agent.at_l2(self.id, vaddr >> self._page_bits, writeback=True)
+        if self._at_l2 is not None:
+            self._at_l2(self.id, vaddr >> self._page_bits, writeback=True)
         proto = vaddr if self._virtual_am else self._to_physical(vaddr)
         self.engine.writeback(self.id, proto, 0)
 

@@ -67,6 +67,9 @@ class Simulator:
 
         heap = [(0, n) for n in range(count)]
         heapq.heapify(heap)
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        max_refs = self.max_refs_per_node
 
         def finish(node: int, now: int) -> None:
             nonlocal active
@@ -83,20 +86,20 @@ class Simulator:
                     waiter, arrival = queue.popleft()
                     lock_holder[word] = waiter
                     nodes[waiter].breakdown.sync += max(0, now - arrival)
-                    heapq.heappush(heap, (max(now, arrival), waiter))
+                    heappush(heap, (max(now, arrival), waiter))
                 else:
                     lock_holder[word] = None
             # A finished node satisfies every outstanding barrier.
             for barrier_id in list(barrier_arrivals):
                 self._maybe_release_barrier(
-                    barrier_id, barrier_arrivals, finished, clock, heap, nodes, active
+                    barrier_id, barrier_arrivals, clock, heap, nodes, active
                 )
 
         while heap:
-            now, n = heapq.heappop(heap)
+            now, n = heappop(heap)
             if finished[n]:
                 continue
-            if self.max_refs_per_node is not None and refs_done[n] >= self.max_refs_per_node:
+            if max_refs is not None and refs_done[n] >= max_refs:
                 finish(n, now)
                 continue
             event = next(streams[n], None)
@@ -106,12 +109,13 @@ class Simulator:
             op, value = event
 
             if op == READ or op == WRITE:
-                nodes[n].breakdown.busy += think
-                stall = nodes[n].reference(op == WRITE, value, now + think)
+                node = nodes[n]
+                node.breakdown.busy += think
+                stall = node.reference(op == WRITE, value, now + think)
                 clock[n] = now + think + stall
                 refs_done[n] += 1
                 total_refs_processed += 1
-                heapq.heappush(heap, (clock[n], n))
+                heappush(heap, (clock[n], n))
                 if check_every and total_refs_processed % check_every == 0:
                     machine.engine.check_invariants()
             elif op == BARRIER:
@@ -124,7 +128,7 @@ class Simulator:
                 arrivals[n] = now
                 clock[n] = now
                 self._maybe_release_barrier(
-                    value, barrier_arrivals, finished, clock, heap, nodes, active
+                    value, barrier_arrivals, clock, heap, nodes, active
                 )
             elif op == LOCK:
                 word = value
@@ -133,7 +137,7 @@ class Simulator:
                     lock_holder[word] = n
                     stall = nodes[n].reference(True, word, now)
                     clock[n] = now + stall
-                    heapq.heappush(heap, (clock[n], n))
+                    heappush(heap, (clock[n], n))
                 else:
                     lock_queue.setdefault(word, deque()).append((n, now))
             elif op == UNLOCK:
@@ -145,7 +149,7 @@ class Simulator:
                 stall = nodes[n].reference(True, word, now)
                 release_time = now + stall
                 clock[n] = release_time
-                heapq.heappush(heap, (clock[n], n))
+                heappush(heap, (clock[n], n))
                 queue = lock_queue.get(word)
                 if queue:
                     waiter, arrival = queue.popleft()
@@ -153,7 +157,7 @@ class Simulator:
                     nodes[waiter].breakdown.sync += release_time - arrival
                     acquire_stall = nodes[waiter].reference(True, word, release_time)
                     clock[waiter] = release_time + acquire_stall
-                    heapq.heappush(heap, (clock[waiter], waiter))
+                    heappush(heap, (clock[waiter], waiter))
                 else:
                     lock_holder[word] = None
             else:  # pragma: no cover - defensive
@@ -182,7 +186,7 @@ class Simulator:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _maybe_release_barrier(barrier_id, barrier_arrivals, finished, clock, heap, nodes, active) -> None:
+    def _maybe_release_barrier(barrier_id, barrier_arrivals, clock, heap, nodes, active) -> None:
         arrivals = barrier_arrivals.get(barrier_id)
         if arrivals is None:
             return

@@ -23,7 +23,7 @@ from typing import Dict, Iterable, List, Tuple
 from repro.common.params import MachineParams
 from repro.common.rng import make_rng
 from repro.coma.protocol import TranslationAgent
-from repro.core.schemes import Scheme, TapPoint
+from repro.core.schemes import TAP_OF_SCHEME, Scheme, TapPoint
 from repro.core.tlb import Organization, TranslationBank, TranslationBuffer
 
 #: Sizes matching the x-axis of paper Figure 8 / columns of Tables 2-3.
@@ -77,6 +77,36 @@ class StudyResults:
         """(size, misses) points, size-ascending — one Figure 8 line."""
         return [(size, self.misses(tap, size, org)) for size in sorted(self.sizes)]
 
+    # -- serialization (runner result cache) ----------------------------
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (enum keys flattened to strings)."""
+        return {
+            "nodes": self.nodes,
+            "sizes": list(self.sizes),
+            "orgs": [org.value for org in self.orgs],
+            "total_references": self.total_references,
+            "misses": {
+                f"{tap.value}|{size}|{org.value}": count
+                for (tap, size, org), count in self._misses.items()
+            },
+            "accesses": {tap.value: count for tap, count in self._accesses.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "StudyResults":
+        misses: Dict[Tuple[TapPoint, int, Organization], int] = {}
+        for key, count in data["misses"].items():
+            tap_value, size, org_value = key.rsplit("|", 2)
+            misses[(TapPoint(tap_value), int(size), Organization(org_value))] = count
+        return cls(
+            nodes=data["nodes"],
+            sizes=tuple(data["sizes"]),
+            orgs=tuple(Organization(value) for value in data["orgs"]),
+            misses=misses,
+            accesses={TapPoint(value): count for value, count in data["accesses"].items()},
+            total_references=data["total_references"],
+        )
+
 
 class StudyAgent(TranslationAgent):
     """Feeds every tap into banks of translation buffers; never stalls."""
@@ -98,33 +128,43 @@ class StudyAgent(TranslationAgent):
                 self._banks[(tap, node)] = TranslationBank(
                     configs, seed=params.seed, name=f"{tap.value}:{node}"
                 )
+        # Per-tap bank lists indexed by node: the tap feeds run once per
+        # simulated reference, and a plain list index is markedly cheaper
+        # than hashing a (TapPoint, node) tuple each time.
+        nodes = range(params.nodes)
+        self._l0 = [self._banks[(TapPoint.L0, n)] for n in nodes]
+        self._l1 = [self._banks[(TapPoint.L1, n)] for n in nodes]
+        self._l2 = [self._banks[(TapPoint.L2, n)] for n in nodes]
+        self._l2_no_wback = [self._banks[(TapPoint.L2_NO_WBACK, n)] for n in nodes]
+        self._l3 = [self._banks[(TapPoint.L3, n)] for n in nodes]
+        self._home = [self._banks[(TapPoint.HOME, n)] for n in nodes]
         self.total_references = 0
 
     # -- tap feeds ------------------------------------------------------
     def at_l0(self, node: int, vpn: int) -> int:
         self.total_references += 1
-        self._banks[(TapPoint.L0, node)].access(vpn)
+        self._l0[node].access(vpn)
         return 0
 
     def at_l1(self, node: int, vpn: int) -> int:
-        self._banks[(TapPoint.L1, node)].access(vpn)
+        self._l1[node].access(vpn)
         return 0
 
     def at_l2(self, node: int, vpn: int, writeback: bool = False) -> int:
-        self._banks[(TapPoint.L2, node)].access(vpn)
+        self._l2[node].access(vpn)
         if not writeback:
-            self._banks[(TapPoint.L2_NO_WBACK, node)].access(vpn)
+            self._l2_no_wback[node].access(vpn)
         return 0
 
     def at_l3(self, node: int, vpn: int) -> int:
-        self._banks[(TapPoint.L3, node)].access(vpn)
+        self._l3[node].access(vpn)
         return 0
 
     def at_home(self, home: int, vpn: int, for_ownership: bool = False, injection: bool = False, requester=None) -> int:
         # The DLB indexes with the VPN bits *above* the home selector:
         # every page at this home shares the low `p` bits, so keeping
         # them would waste a direct-mapped DLB's index space P-fold.
-        self._banks[(TapPoint.HOME, home)].access(vpn >> self._node_bits)
+        self._home[home].access(vpn >> self._node_bits)
         return 0
 
     # -- results --------------------------------------------------------
@@ -197,6 +237,11 @@ class TimingAgent(TranslationAgent):
 
     def buffer(self, node: int) -> TranslationBuffer:
         return self._buffers[node]
+
+    def uses_tap(self, tap: TapPoint) -> bool:
+        # Only the scheme's own tap charges cycles; every other at_*
+        # call would return 0, so hot paths may skip them entirely.
+        return TAP_OF_SCHEME[self.scheme] is tap
 
     def _translate(self, node: int, vpn: int) -> int:
         return 0 if self._buffers[node].access(vpn) else self.penalty

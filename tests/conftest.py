@@ -12,6 +12,15 @@ from repro import MachineParams, Scheme, make_workload
 from repro.common.address import AddressLayout
 
 
+@pytest.fixture(autouse=True)
+def isolated_result_cache(tmp_path, monkeypatch):
+    """Point the persistent simulation cache at a per-test directory.
+
+    Keeps the suite from reading stale entries out of (or writing into)
+    the developer's real ~/.cache/repro."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def tiny_params():
     """2 nodes, 16 KB attraction memories — protocol-level tests."""

@@ -1,0 +1,103 @@
+"""Parallel execution must be invisible in the results.
+
+Every simulation derives all of its randomness from named substreams of
+``MachineParams.seed``, so a grid sharded across worker processes must
+return byte-for-byte the same summaries as a serial run — and both must
+match the direct :func:`run_miss_sweep` / :func:`run_timing` calls the
+specs wrap.  Exercised over two workloads with different access
+characters (RADIX's permutation traffic, FFT's transpose phases).
+"""
+
+import pytest
+
+from repro import MachineParams, Scheme
+from repro.analysis import run_miss_sweep, run_timing
+from repro.core.schemes import TapPoint
+from repro.core.tlb import Organization
+from repro.runner import BatchRunner, JobSpec, ResultCache
+from repro.workloads import make_workload
+
+WORKLOADS = ("radix", "fft")
+SIZES = (8, 32)
+ORGS = (Organization.FULLY_ASSOCIATIVE, Organization.DIRECT_MAPPED)
+INTENSITY = 0.2
+MAX_REFS = 400
+
+
+@pytest.fixture(scope="module")
+def params():
+    return MachineParams.scaled_down(factor=64, nodes=4, page_size=256)
+
+
+@pytest.fixture(scope="module")
+def grid(params):
+    specs = []
+    for name in WORKLOADS:
+        specs.append(
+            JobSpec.sweep(
+                params, name, sizes=SIZES, orgs=ORGS,
+                max_refs_per_node=MAX_REFS,
+                overrides={"intensity": INTENSITY}, label=f"sweep:{name}",
+            )
+        )
+        specs.append(
+            JobSpec.timing(
+                params, Scheme.V_COMA, name, 8,
+                max_refs_per_node=MAX_REFS,
+                overrides={"intensity": INTENSITY}, label=f"timing:{name}",
+            )
+        )
+    return specs
+
+
+def test_parallel_grid_identical_to_serial(params, grid):
+    serial = BatchRunner(jobs=1).run(grid)
+    parallel = BatchRunner(jobs=4).run(grid)
+    assert [job.spec for job in parallel] == [job.spec for job in serial]
+    for s_job, p_job in zip(serial, parallel):
+        assert p_job.summary.to_dict() == s_job.summary.to_dict(), s_job.spec.describe()
+
+
+def test_runner_matches_direct_calls(params, grid):
+    jobs = BatchRunner(jobs=1).run(grid)
+    by_label = {job.spec.label: job.summary for job in jobs}
+    for name in WORKLOADS:
+        direct_sweep = run_miss_sweep(
+            params,
+            make_workload(name, intensity=INTENSITY),
+            sizes=SIZES,
+            orgs=ORGS,
+            max_refs_per_node=MAX_REFS,
+        )
+        summary = by_label[f"sweep:{name}"]
+        for tap in TapPoint:
+            for size in SIZES:
+                for org in ORGS:
+                    assert summary.study_results().misses(tap, size, org) == (
+                        direct_sweep.study_results().misses(tap, size, org)
+                    ), (name, tap, size, org)
+
+        direct_timing = run_timing(
+            params,
+            Scheme.V_COMA,
+            make_workload(name, intensity=INTENSITY),
+            8,
+            max_refs_per_node=MAX_REFS,
+        )
+        summary = by_label[f"timing:{name}"]
+        assert summary.total_time == direct_timing.total_time
+        assert summary.timing_summary() == direct_timing.timing_summary()
+        assert summary.aggregate_breakdown() == direct_timing.aggregate_breakdown()
+
+
+def test_cached_grid_identical_and_simulation_free(params, grid, tmp_path):
+    cold = BatchRunner(jobs=1, cache=ResultCache(tmp_path))
+    baseline = cold.run(grid)
+    assert cold.simulations_run == len(grid)
+
+    warm = BatchRunner(jobs=4, cache=ResultCache(tmp_path))
+    reread = warm.run(grid)
+    assert warm.simulations_run == 0
+    assert warm.cache_hits == len(grid)
+    for b_job, r_job in zip(baseline, reread):
+        assert r_job.summary.to_dict() == b_job.summary.to_dict()

@@ -1,0 +1,200 @@
+"""Unit tests for the batch runner, job specs, and the result cache."""
+
+import json
+
+import pytest
+
+from repro import MachineParams, Scheme
+from repro.core.schemes import TapPoint
+from repro.core.tlb import Organization
+from repro.runner import BatchRunner, JobSpec, ResultCache, RunSummary, default_cache_dir
+from repro.runner.cache import CACHE_DIR_ENV
+
+
+@pytest.fixture
+def params():
+    return MachineParams.scaled_down(factor=256, nodes=2, page_size=256)
+
+
+def sweep_spec(params, **overrides):
+    kwargs = dict(
+        sizes=(8, 32),
+        orgs=(Organization.FULLY_ASSOCIATIVE,),
+        max_refs_per_node=300,
+        overrides={"intensity": 0.2},
+    )
+    kwargs.update(overrides)
+    return JobSpec.sweep(params, "radix", **kwargs)
+
+
+def timing_spec(params, **overrides):
+    kwargs = dict(max_refs_per_node=300, overrides={"intensity": 0.2})
+    kwargs.update(overrides)
+    return JobSpec.timing(params, Scheme.V_COMA, "fft", 8, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# JobSpec
+# ----------------------------------------------------------------------
+class TestJobSpec:
+    def test_content_hash_is_stable(self, params):
+        assert sweep_spec(params).content_hash() == sweep_spec(params).content_hash()
+
+    def test_label_excluded_from_hash(self, params):
+        plain = sweep_spec(params)
+        labelled = sweep_spec(params, label="figure-8")
+        assert plain.content_hash() == labelled.content_hash()
+        assert labelled.describe() == "figure-8"
+
+    def test_hash_sensitive_to_params_and_knobs(self, params):
+        base = sweep_spec(params)
+        other_params = MachineParams.scaled_down(factor=256, nodes=2, page_size=256, seed=99)
+        assert base.content_hash() != sweep_spec(other_params).content_hash()
+        assert base.content_hash() != sweep_spec(params, sizes=(8,)).content_hash()
+        assert base.content_hash() != sweep_spec(params, overrides={"intensity": 0.3}).content_hash()
+        assert base.content_hash() != timing_spec(params).content_hash()
+
+    def test_hash_folds_in_version(self, params):
+        spec = sweep_spec(params)
+        assert spec.content_hash(version="1.0") != spec.content_hash(version="2.0")
+
+    def test_timing_requires_scheme(self, params):
+        with pytest.raises(ValueError):
+            JobSpec(kind="timing", params=params, workload="radix")
+
+    def test_rejects_unknown_kind(self, params):
+        with pytest.raises(ValueError):
+            JobSpec(kind="mystery", params=params, workload="radix")
+
+    def test_execute_sweep_matches_direct_run(self, params):
+        from repro.analysis import run_miss_sweep
+        from repro.workloads import make_workload
+
+        spec = sweep_spec(params)
+        direct = run_miss_sweep(
+            params,
+            make_workload("radix", intensity=0.2),
+            sizes=(8, 32),
+            orgs=(Organization.FULLY_ASSOCIATIVE,),
+            max_refs_per_node=300,
+        )
+        summary = spec.execute()
+        tap = TapPoint.L0
+        assert summary.study_results().misses(tap, 8, Organization.FULLY_ASSOCIATIVE) == (
+            direct.study_results().misses(tap, 8, Organization.FULLY_ASSOCIATIVE)
+        )
+        assert summary.total_time == direct.total_time
+
+
+# ----------------------------------------------------------------------
+# RunSummary
+# ----------------------------------------------------------------------
+class TestRunSummary:
+    def test_round_trips_through_json(self, params):
+        summary = timing_spec(params).execute()
+        clone = RunSummary.from_dict(json.loads(json.dumps(summary.to_dict())))
+        assert clone.scheme is summary.scheme
+        assert clone.total_time == summary.total_time
+        assert clone.total_references == summary.total_references
+        assert clone.timing_summary() == summary.timing_summary()
+        assert clone.aggregate_breakdown().total == summary.aggregate_breakdown().total
+        assert clone.translation_overhead_ratio() == summary.translation_overhead_ratio()
+
+    def test_study_results_survive_round_trip(self, params):
+        summary = sweep_spec(params).execute()
+        clone = RunSummary.from_dict(summary.to_dict())
+        org = Organization.FULLY_ASSOCIATIVE
+        for tap in (TapPoint.L0, TapPoint.HOME):
+            for size in (8, 32):
+                assert clone.study_results().misses(tap, size, org) == (
+                    summary.study_results().misses(tap, size, org)
+                )
+
+
+# ----------------------------------------------------------------------
+# ResultCache
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_default_dir_honours_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+
+    def test_round_trip(self, tmp_path, params):
+        cache = ResultCache(tmp_path)
+        spec = timing_spec(params)
+        assert cache.get(spec) is None
+        summary = spec.execute()
+        cache.put(spec, summary, elapsed=1.0)
+        assert cache.contains(spec)
+        assert len(cache) == 1
+        restored = cache.get(spec)
+        assert restored.total_time == summary.total_time
+        assert restored.timing_summary() == summary.timing_summary()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, params):
+        cache = ResultCache(tmp_path)
+        spec = timing_spec(params)
+        cache.put(spec, spec.execute(), elapsed=1.0)
+        cache.path_for(spec).write_text("{not json")
+        assert cache.get(spec) is None
+
+    def test_clear(self, tmp_path, params):
+        cache = ResultCache(tmp_path)
+        spec = timing_spec(params)
+        cache.put(spec, spec.execute(), elapsed=1.0)
+        cache.clear()
+        assert len(cache) == 0
+
+
+# ----------------------------------------------------------------------
+# BatchRunner
+# ----------------------------------------------------------------------
+class TestBatchRunner:
+    def test_serial_run_preserves_order_and_counts(self, params):
+        runner = BatchRunner(jobs=1)
+        specs = [sweep_spec(params), timing_spec(params)]
+        jobs = runner.run(specs)
+        assert [job.spec for job in jobs] == specs
+        assert runner.simulations_run == 2
+        assert all(not job.from_cache for job in jobs)
+        assert all(job.elapsed > 0 for job in jobs)
+
+    def test_warm_cache_runs_zero_simulations(self, tmp_path, params):
+        specs = [sweep_spec(params), timing_spec(params)]
+        first = BatchRunner(jobs=1, cache=ResultCache(tmp_path))
+        first.run(specs)
+        assert first.simulations_run == 2
+
+        second = BatchRunner(jobs=1, cache=ResultCache(tmp_path))
+        jobs = second.run(specs)
+        assert second.simulations_run == 0
+        assert second.cache_hits == 2
+        assert all(job.from_cache for job in jobs)
+        assert jobs[0].summary.total_time == first.run(specs)[0].summary.total_time
+
+    def test_progress_called_for_every_job(self, tmp_path, params):
+        calls = []
+        cache = ResultCache(tmp_path)
+        BatchRunner(jobs=1, cache=cache).run([timing_spec(params)])
+        runner = BatchRunner(
+            jobs=1, cache=cache, progress=lambda done, total, job: calls.append((done, total, job.from_cache))
+        )
+        runner.run([timing_spec(params), sweep_spec(params)])
+        assert (1, 2, True) in calls
+        assert (2, 2, False) in calls
+
+    def test_parallel_matches_serial(self, params):
+        specs = [
+            sweep_spec(params),
+            timing_spec(params),
+            timing_spec(params, overrides={"intensity": 0.3}),
+        ]
+        serial = BatchRunner(jobs=1).run(specs)
+        parallel = BatchRunner(jobs=4).run(specs)
+        for s_job, p_job in zip(serial, parallel):
+            assert p_job.summary.to_dict() == s_job.summary.to_dict()
+
+    def test_run_labelled(self, params):
+        runner = BatchRunner(jobs=1)
+        out = runner.run_labelled([sweep_spec(params, label="sweep"), timing_spec(params)])
+        assert set(out) == {"sweep", "timing:fft/V-COMA/8"}
