@@ -12,11 +12,18 @@ re-run of the harness reuses every simulation from the previous one.
 Environment knobs:
 
 * ``REPRO_BENCH_JOBS`` — worker processes used when :func:`all_studies`
-  has to simulate several cold sweeps; default 1 (serial).
+  has to simulate several cold sweeps; default 1 (serial).  Clamped to
+  the CPU count by the runner.
 * ``REPRO_CACHE_DIR`` — relocate the persistent cache (honoured by
-  :func:`repro.runner.default_cache_dir`).
+  :func:`repro.runner.default_cache_dir`; the tap-trace store lives
+  under it).
 * ``REPRO_NO_CACHE`` — set non-empty to disable the persistent cache
-  (in-process memoization still applies).
+  and trace store (in-process memoization still applies).
+* ``REPRO_NO_REPLAY`` — set non-empty to force sweeps down the coupled
+  scalar reference path instead of record/replay (bit-identical,
+  slower; used to cross-check the pipeline).
+* ``REPRO_NO_NUMPY`` — honoured by :mod:`repro.core.replay`: forces the
+  pure-Python replay kernels even when numpy is importable.
 
 Scaling note: absolute miss counts and percentages differ from the
 paper's 32-node SPARC testbed; what the harness reproduces — and what
@@ -31,7 +38,7 @@ from typing import Dict
 
 from repro import MachineParams, Scheme, make_workload
 from repro.core.tlb import Organization
-from repro.runner import BatchRunner, JobSpec, ResultCache
+from repro.runner import BatchRunner, JobSpec, ResultCache, TraceStore
 from repro.system.taps import StudyResults
 from repro.workloads import PAPER_ORDER
 
@@ -85,10 +92,18 @@ def bench_workload(name: str, **overrides):
 
 @functools.lru_cache(maxsize=None)
 def bench_runner() -> BatchRunner:
-    """The harness's shared runner: persistent cache + optional workers."""
-    cache = None if os.environ.get("REPRO_NO_CACHE") else ResultCache()
+    """The harness's shared runner: persistent cache + trace store +
+    optional workers."""
+    no_cache = bool(os.environ.get("REPRO_NO_CACHE"))
+    cache = None if no_cache else ResultCache()
+    trace_store = None if no_cache else TraceStore()
     jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
-    return BatchRunner(jobs=jobs, cache=cache)
+    return BatchRunner(
+        jobs=jobs,
+        cache=cache,
+        trace_store=trace_store,
+        replay=not os.environ.get("REPRO_NO_REPLAY"),
+    )
 
 
 def _sweep_spec(name: str) -> JobSpec:

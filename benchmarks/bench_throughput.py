@@ -1,26 +1,35 @@
-"""Throughput benchmark: serial refs/sec, parallel grid scaling, cache reuse.
+"""Throughput benchmark: serial refs/sec, record/replay grid, cache reuse.
 
 Run as a script (it is not a pytest-benchmark module)::
 
     PYTHONPATH=src python benchmarks/bench_throughput.py [--smoke] [--out PATH]
 
-Three measurements, written to ``BENCH_throughput.json`` at the repo
+Four measurements, written to ``BENCH_throughput.json`` at the repo
 root:
 
 * **serial throughput** — references simulated per second for one
   decoupled sweep run and one coupled timing run, compared against the
-  recorded seed-commit baseline (``speedup_vs_seed``; the optimisation
-  target is ≥1.2×).  Baselines were measured on the same grid at the
-  seed commit; re-measure with ``--baseline-only`` on a seed checkout
-  to recalibrate for a different host.
-* **parallel grid wall-clock** — a report-shaped grid (per-workload
-  sweeps plus the TLB/DLB timing matrix) executed cold at ``--jobs``
-  1, 4 and 8; ``speedup_vs_serial`` records the scaling actually
-  achieved on this host (bounded by ``cpu_count`` — a 1-core container
-  cannot show parallel speedup).
-* **warm cache** — the same grid re-run against the cache populated by
-  the jobs=1 pass; asserts zero new simulations and records the
-  wall-clock of a simulation-free invocation.
+  recorded seed-commit baseline (``speedup_vs_seed``).  Both run the
+  coupled scalar paths — this row tracks the simulator core, not the
+  replay pipeline.
+* **sweep grid** — the record-once/replay-many showcase: every
+  workload swept at several TLB/DLB bank configurations (sizes ×
+  organizations).  All bank grids of one workload share a single
+  recorded tap trace, so the grid simulates each hierarchy once and
+  replays the rest.  ``grid_no_replay`` runs the identical spec list
+  through the coupled scalar path (the PR-1 behaviour);
+  ``speedup_vs_no_replay`` on the jobs=1 row is the pipeline's win and
+  the optimisation target (≥3×).  Miss counts are asserted
+  bit-identical between the two passes.  Each row records
+  ``effective_jobs`` — the worker count after the runner clamps to
+  ``cpu_count`` (a 1-core container runs every level in-process, which
+  is why ``--jobs 4`` no longer loses to serial).
+* **timing grid** — the coupled TLB/DLB timing matrix (Table 4 shape).
+  Timing runs are never replayed (the translation penalty perturbs the
+  interleaving), so this grid bounds what record/replay cannot speed
+  up.
+* **warm cache** — the sweep grid re-run against the result cache
+  populated by the jobs=1 pass; asserts zero new simulations.
 """
 
 from __future__ import annotations
@@ -37,7 +46,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro import MachineParams, Scheme, __version__, make_workload
 from repro.analysis import run_miss_sweep, run_timing
 from repro.core.tlb import Organization
-from repro.runner import BatchRunner, JobSpec, ResultCache
+from repro.runner import BatchRunner, JobSpec, ResultCache, TraceStore
 
 #: Bench machine (mirrors bench_common.BENCH_PARAMS).
 PARAMS = MachineParams.scaled_down(factor=8, nodes=8, page_size=512)
@@ -52,7 +61,21 @@ INTENSITY = {"radix": 0.45, "fft": 0.25, "fmm": 1.0, "ocean": 0.2, "raytrace": 3
 #: on a pre-optimisation checkout.
 SEED_BASELINE = {"sweep_refs_per_sec": 30926.0, "timing_refs_per_sec": 65973.0}
 
-JOB_LEVELS = (1, 4, 8)
+#: Bank configurations swept per workload.  Each is a (label, sizes,
+#: orgs) grid; all five share one workload's recorded tap trace, which
+#: is exactly the redundancy record/replay removes.
+FA = Organization.FULLY_ASSOCIATIVE
+SA = Organization.SET_ASSOCIATIVE
+DM = Organization.DIRECT_MAPPED
+BANK_CONFIGS = (
+    ("fig8", (8, 32, 128, 512), (FA, DM)),
+    ("table2", (8, 32, 128), (FA,)),
+    ("small", (8, 16, 32, 64), (FA, SA)),
+    ("medium", (16, 64, 256), (FA, DM)),
+    ("assoc", (32, 128, 512), (SA, DM)),
+)
+
+JOB_LEVELS = (1, 4)
 
 
 def serial_throughput(smoke: bool) -> dict:
@@ -94,15 +117,22 @@ def serial_throughput(smoke: bool) -> dict:
     return best
 
 
-def grid_specs(workloads) -> list:
-    """The report-shaped grid: sweeps plus the TLB/DLB timing matrix."""
-    specs = [
+def sweep_grid_specs(workloads, configs=BANK_CONFIGS) -> list:
+    """One sweep job per (workload, bank configuration)."""
+    return [
         JobSpec.sweep(
-            PARAMS, name, sizes=SWEEP_SIZES, orgs=ORGS,
-            overrides={"intensity": INTENSITY[name]}, label=f"sweep:{name}",
+            PARAMS, name, sizes=sizes, orgs=orgs,
+            overrides={"intensity": INTENSITY[name]},
+            label=f"sweep:{name}:{label}",
         )
         for name in workloads
+        for label, sizes, orgs in configs
     ]
+
+
+def timing_grid_specs(workloads) -> list:
+    """The coupled TLB/DLB timing matrix (Table 4 shape)."""
+    specs = []
     for entries in (8, 16):
         for scheme in (Scheme.L0_TLB, Scheme.V_COMA):
             specs.extend(
@@ -116,30 +146,42 @@ def grid_specs(workloads) -> list:
     return specs
 
 
-def run_grid(specs, jobs, cache=None) -> dict:
-    runner = BatchRunner(jobs=jobs, cache=cache)
+def run_grid(specs, jobs, cache=None, trace_store=None, replay=True):
+    runner = BatchRunner(jobs=jobs, cache=cache, trace_store=trace_store, replay=replay)
     started = time.perf_counter()
-    runner.run(specs)
+    results = runner.run(specs)
     elapsed = time.perf_counter() - started
-    return {
+    row = {
         "jobs": jobs,
+        "effective_jobs": runner.effective_jobs,
         "grid_jobs": len(specs),
         "seconds": round(elapsed, 3),
         "simulations_run": runner.simulations_run,
         "cache_hits": runner.cache_hits,
+    }
+    return row, results
+
+
+def study_fingerprint(results) -> dict:
+    """Label → sweep miss counts, for replay-vs-scalar equality checks."""
+    return {
+        job.spec.label: job.summary.study_results().to_dict()
+        for job in results
+        if job.summary.study_results() is not None
     }
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
-                        help="small grid (2 workloads) for CI smoke runs")
+                        help="small grid (2 workloads, 2 bank configs) for CI smoke runs")
     parser.add_argument("--out", default=None,
                         help="output path (default: BENCH_throughput.json at the repo root)")
     args = parser.parse_args(argv)
 
     out = args.out or os.path.join(os.path.dirname(__file__), "..", "BENCH_throughput.json")
     workloads = ("radix", "fft") if args.smoke else tuple(INTENSITY)
+    configs = BANK_CONFIGS[:2] if args.smoke else BANK_CONFIGS
 
     print(f"serial throughput (radix){' [smoke]' if args.smoke else ''} ...", flush=True)
     serial = serial_throughput(args.smoke)
@@ -148,22 +190,52 @@ def main(argv=None) -> int:
         print(f"  {kind:>6}: {row['refs_per_sec']:>10.1f} refs/s "
               f"({row['speedup_vs_seed']:.2f}x vs seed)")
 
-    specs = grid_specs(workloads)
-    print(f"grid: {len(specs)} simulations over {len(workloads)} workloads", flush=True)
+    specs = sweep_grid_specs(workloads, configs)
+    print(f"sweep grid: {len(specs)} jobs "
+          f"({len(workloads)} workloads x {len(configs)} bank configs)", flush=True)
     grid = []
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        no_replay_row, no_replay_results = run_grid(specs, jobs=1, replay=False)
+        print(f"  no-replay (scalar reference): {no_replay_row['seconds']:.1f} s", flush=True)
+
+        replay_fingerprint = None
         for jobs in JOB_LEVELS:
-            # Every level runs cold; the jobs=1 pass writes the cache
+            # Every level records+replays cold except for the shared
+            # trace store; the jobs=1 pass also writes the result cache
             # the warm measurement below reads back.
-            row = run_grid(specs, jobs, cache=ResultCache(tmp) if jobs == 1 else None)
+            with tempfile.TemporaryDirectory(prefix="repro-bench-traces-") as trace_tmp:
+                row, results = run_grid(
+                    specs, jobs,
+                    cache=ResultCache(tmp) if jobs == 1 else None,
+                    trace_store=TraceStore(trace_tmp),
+                )
             if jobs == 1:
                 serial_seconds = row["seconds"]
+                replay_fingerprint = study_fingerprint(results)
+                row["speedup_vs_no_replay"] = round(
+                    no_replay_row["seconds"] / row["seconds"], 3
+                )
             row["speedup_vs_serial"] = round(serial_seconds / row["seconds"], 3)
             grid.append(row)
-            print(f"  --jobs {jobs}: {row['seconds']:.1f} s "
-                  f"({row['speedup_vs_serial']:.2f}x vs serial)", flush=True)
+            note = (f", {row['speedup_vs_no_replay']:.2f}x vs no-replay"
+                    if jobs == 1 else "")
+            print(f"  --jobs {jobs} (effective {row['effective_jobs']}): "
+                  f"{row['seconds']:.1f} s "
+                  f"({row['speedup_vs_serial']:.2f}x vs serial{note})", flush=True)
 
-        warm = run_grid(specs, jobs=1, cache=ResultCache(tmp))
+        mismatches = [
+            label for label, study in study_fingerprint(no_replay_results).items()
+            if replay_fingerprint.get(label) != study
+        ]
+        assert not mismatches, f"replay/scalar miss counts diverged: {mismatches}"
+        print(f"  replay == scalar: {len(replay_fingerprint)} studies bit-identical")
+
+        timing_specs = timing_grid_specs(workloads)
+        print(f"timing grid: {len(timing_specs)} coupled jobs", flush=True)
+        timing_row, _ = run_grid(timing_specs, jobs=1)
+        print(f"  --jobs 1: {timing_row['seconds']:.1f} s", flush=True)
+
+        warm, _ = run_grid(specs, jobs=1, cache=ResultCache(tmp))
         assert warm["simulations_run"] == 0, "warm cache still simulated"
         print(f"  warm cache: {warm['seconds']:.2f} s, "
               f"{warm['simulations_run']} simulations, {warm['cache_hits']} hits")
@@ -175,6 +247,8 @@ def main(argv=None) -> int:
         "params": {"nodes": PARAMS.nodes, "page_size": PARAMS.page_size},
         "serial": serial,
         "grid": grid,
+        "grid_no_replay": no_replay_row,
+        "timing_grid": timing_row,
         "warm_cache": warm,
     }
     with open(out, "w") as handle:

@@ -5,10 +5,16 @@ Two kinds of runs:
 * **sweep runs** (:func:`run_miss_sweep`) — one simulation per workload
   with a :class:`~repro.system.taps.StudyAgent`, yielding translation
   miss counts for every (tap, size, organization) point at once.  Feeds
-  Figures 8 and 9 and Tables 2 and 3.
+  Figures 8 and 9 and Tables 2 and 3.  This is the *reference* path;
+  batched sweeps normally run through the record-once/replay-many
+  pipeline instead (:mod:`repro.system.taptrace`), which records the
+  hierarchy's tap streams once and replays every bank configuration
+  from the recording with vectorized kernels — bit-identical miss
+  counts, a fraction of the wall clock.
 * **timing runs** (:func:`run_timing`) — coupled simulations where one
   real TLB/DLB charges its 40-cycle penalty.  Feeds Table 4 and
-  Figure 10.
+  Figure 10.  Never replayed: the penalty perturbs the interleaving,
+  so each design point is its own simulation.
 
 Figure 11's pressure profile needs no reference simulation at all: the
 profile is fixed by the preloaded page placement
@@ -17,7 +23,9 @@ profile is fixed by the preloaded page placement
 Grid-shaped experiments (:func:`run_sweep_studies`,
 :func:`run_execution_breakdown`) go through
 :class:`~repro.runner.batch.BatchRunner`, so callers can shard them
-across worker processes and reuse the persistent result cache.
+across worker processes, reuse the persistent result cache, and (for
+sweeps) share recorded traces via the runner's
+:class:`~repro.runner.traces.TraceStore`.
 """
 
 from __future__ import annotations
@@ -108,7 +116,10 @@ def run_sweep_studies(
 
     Feeds every sweep-backed artifact (Tables 2/3, Figures 8/9); with a
     parallel, cache-backed runner the whole grid shards across workers
-    and warm invocations simulate nothing.
+    and warm invocations simulate nothing.  Each sweep records its
+    hierarchy once and replays every ``(size, org)`` bank from the
+    recording (see :meth:`JobSpec.execute`); a runner with a trace
+    store reuses recordings across different bank grids too.
     """
     from repro.runner import JobSpec
 

@@ -60,6 +60,8 @@ def generate_report(
     jobs: int = 1,
     cache=None,
     progress=None,
+    trace_store=None,
+    replay: bool = True,
 ) -> str:
     """Run the full evaluation and return the report as markdown."""
     from repro.runner import BatchRunner, JobSpec
@@ -69,7 +71,10 @@ def generate_report(
     workloads = list(workloads)
     sizes = tuple(sizes)
     started = time.time()
-    runner = BatchRunner(jobs=jobs, cache=cache, progress=progress)
+    runner = BatchRunner(
+        jobs=jobs, cache=cache, progress=progress,
+        trace_store=trace_store, replay=replay,
+    )
 
     def workload_for(name: str):
         return make_workload(name, intensity=intensities.get(name, 1.0))

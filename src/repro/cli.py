@@ -15,15 +15,19 @@ Every command accepts the machine options (``--nodes``, ``--factor``,
 ``--page-size``, ``--seed``) and ``--refs`` to bound references per
 node.  Simulation-grid commands (``sweep``, ``timing``, ``table2-4``,
 ``report``) also accept ``--jobs N`` to shard independent simulations
-across worker processes, ``--cache-dir`` to relocate the persistent
-result cache, and ``--no-cache`` to bypass it.  Output is plain text,
-identical to the benchmark harness's.
+across worker processes (clamped to the CPU count), ``--cache-dir`` to
+relocate the persistent result cache, ``--no-cache`` to bypass it,
+``--cache-max-mb`` to cap it with LRU eviction, and ``--no-replay`` to
+force miss sweeps down the coupled scalar path instead of the
+record-once/replay-many pipeline (see ``docs/performance.md``).
+Output is plain text, identical to the benchmark harness's.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis import (
@@ -61,12 +65,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_runner_options(p):
         p.add_argument("--jobs", type=int, default=1,
-                       help="worker processes for independent simulations")
+                       help="worker processes for independent simulations "
+                            "(clamped to the machine's CPU count)")
         p.add_argument("--cache-dir", default=None,
                        help="persistent result-cache directory "
                             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
         p.add_argument("--no-cache", action="store_true",
                        help="neither read nor write the persistent result cache")
+        p.add_argument("--cache-max-mb", type=float, default=None,
+                       help="LRU-evict result-cache entries beyond this size "
+                            "(default: $REPRO_CACHE_MAX_MB, else unlimited)")
+        p.add_argument("--no-replay", action="store_true",
+                       help="run miss sweeps through the coupled scalar path "
+                            "instead of the record/replay pipeline "
+                            "(bit-identical, much slower)")
 
     p = sub.add_parser("describe", help="print the machine configuration")
     add_machine_options(p)
@@ -157,14 +169,28 @@ def batch_runner(args, progress=None):
     """A :class:`~repro.runner.batch.BatchRunner` from CLI options.
 
     The persistent cache is on by default; ``--no-cache`` bypasses it
-    and ``--cache-dir`` relocates it.
+    (the tap-trace store included) and ``--cache-dir`` relocates both.
+    ``--cache-max-mb`` caps the result cache with LRU eviction, and
+    ``--no-replay`` forces the scalar reference path for sweeps.
     """
-    from repro.runner import BatchRunner, ResultCache
+    from repro.runner import BatchRunner, ResultCache, TraceStore
 
-    cache = None if getattr(args, "no_cache", False) else ResultCache(
-        getattr(args, "cache_dir", None)
+    max_bytes = getattr(args, "cache_max_mb", None)
+    if max_bytes is not None:
+        max_bytes = int(max_bytes * 1024 * 1024)
+    cache_dir = getattr(args, "cache_dir", None)
+    no_cache = getattr(args, "no_cache", False)
+    cache = None if no_cache else ResultCache(cache_dir, max_bytes=max_bytes)
+    trace_store = None if no_cache else TraceStore(
+        Path(cache_dir) / "traces" if cache_dir else None
     )
-    return BatchRunner(jobs=getattr(args, "jobs", 1), cache=cache, progress=progress)
+    return BatchRunner(
+        jobs=getattr(args, "jobs", 1),
+        cache=cache,
+        progress=progress,
+        trace_store=trace_store,
+        replay=not getattr(args, "no_replay", False),
+    )
 
 
 def _print_progress(done: int, total: int, job) -> None:
@@ -284,18 +310,19 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "report":
         from repro.analysis.report import write_report
-        from repro.runner import ResultCache
 
         names = _workload_list(args)
-        cache = None if args.no_cache else ResultCache(args.cache_dir)
+        runner = batch_runner(args)
         text = write_report(
             args.out,
             params=params,
             workloads=names,
             include_figures=not args.no_figures,
             jobs=args.jobs,
-            cache=cache,
+            cache=runner.cache,
             progress=_print_progress,
+            trace_store=runner.trace_store,
+            replay=runner.replay,
         )
         out.write(f"wrote {args.out} ({len(text.splitlines())} lines)\n")
         return 0

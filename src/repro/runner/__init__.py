@@ -23,12 +23,20 @@ Results come back as :class:`RunSummary` objects — picklable,
 JSON-serializable snapshots that expose the same analysis surface as
 :class:`~repro.system.results.RunResult` (breakdowns, overhead ratios,
 sweep studies, timing summaries) without holding the machine alive.
+
+Sweep jobs additionally run through a record-once/replay-many pipeline
+(see :mod:`repro.system.taptrace` and ``docs/performance.md``): the
+hierarchy simulation is recorded as per-tap page streams — persisted by
+:class:`TraceStore` — and every TLB/DLB bank configuration is replayed
+from the recording with vectorized kernels, bit-identical to the
+coupled reference path.
 """
 
 from repro.runner.batch import BatchRunner, JobResult
 from repro.runner.cache import ResultCache, default_cache_dir
 from repro.runner.jobs import JobSpec
 from repro.runner.summary import RunSummary
+from repro.runner.traces import TraceStore, default_trace_dir
 
 __all__ = [
     "BatchRunner",
@@ -36,5 +44,7 @@ __all__ = [
     "JobSpec",
     "ResultCache",
     "RunSummary",
+    "TraceStore",
     "default_cache_dir",
+    "default_trace_dir",
 ]

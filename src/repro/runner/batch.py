@@ -6,14 +6,30 @@ Every job is deterministic given its spec (all randomness derives from
 bit-identical to a serial run, whatever the worker count or completion
 order.  The runner preserves submission order in its result list, calls
 an optional progress callback as jobs finish, times each job, and falls
-back to in-process execution when ``jobs <= 1``, when only one job is
-pending, or on platforms without ``fork`` (pickling a live pool of
-workload generators requires fork semantics).
+back to in-process execution when only one worker is useful or on
+platforms without ``fork`` (pickling a live pool of workload generators
+requires fork semantics).
+
+Worker sizing: the requested ``jobs`` is clamped to ``os.cpu_count()``
+and to the number of pending jobs — oversubscribing cores only adds
+process startup and scheduler churn (on a 1-core container, ``jobs=4``
+used to run *slower* than serial).  Small grids are chunked so each
+worker amortizes its fork cost over several jobs instead of paying one
+IPC round-trip per simulation.  The clamp actually applied is recorded
+in :attr:`BatchRunner.effective_jobs`.
+
+Sweep jobs run through the record-once/replay-many pipeline (see
+:meth:`JobSpec.execute`); give the runner a
+:class:`~repro.runner.traces.TraceStore` to persist recorded tap
+traces so later grids with different bank configurations skip the
+hierarchy simulation entirely.
 """
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
@@ -36,11 +52,13 @@ class JobResult:
     from_cache: bool = False
 
 
-def _execute_indexed(item: Tuple[int, JobSpec]) -> Tuple[int, RunSummary, float]:
+def _execute_indexed(
+    item: Tuple[int, JobSpec], trace_store=None, replay: bool = True
+) -> Tuple[int, RunSummary, float]:
     """Worker entry point (top-level so it pickles)."""
     index, spec = item
     started = time.perf_counter()
-    summary = spec.execute()
+    summary = spec.execute(trace_store=trace_store, replay=replay)
     return index, summary, time.perf_counter() - started
 
 
@@ -55,12 +73,20 @@ class BatchRunner:
     ----------
     jobs:
         Worker process count; ``1`` (default) runs everything in-process.
+        Clamped to ``os.cpu_count()`` and the pending-job count.
     cache:
         A :class:`ResultCache` consulted before and fed after every
         simulation; ``None`` disables persistence.
     progress:
         Optional callback invoked (in the parent) once per finished job,
         including cache hits.
+    trace_store:
+        A :class:`~repro.runner.traces.TraceStore` persisting recorded
+        tap traces across runs; ``None`` still records and replays
+        in-memory (per job), just without cross-run reuse.
+    replay:
+        ``False`` forces the coupled scalar sweep path (the reference
+        implementation the replay pipeline is verified against).
     """
 
     def __init__(
@@ -68,14 +94,22 @@ class BatchRunner:
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressCallback] = None,
+        trace_store=None,
+        replay: bool = True,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.progress = progress
+        self.trace_store = trace_store
+        self.replay = replay
         #: Simulations actually executed (cache hits excluded) — the
         #: "zero new simulations on a warm cache" observable.
         self.simulations_run = 0
         self.cache_hits = 0
+        #: Worker processes actually used by the last :meth:`run` after
+        #: clamping to cpu_count and the pending-job count (1 = ran
+        #: in-process).
+        self.effective_jobs = 1
 
     # ------------------------------------------------------------------
     def run(self, specs: Iterable[JobSpec]) -> List[JobResult]:
@@ -110,18 +144,27 @@ class BatchRunner:
             if self.progress is not None:
                 self.progress(done, total, job)
 
+        execute = functools.partial(
+            _execute_indexed, trace_store=self.trace_store, replay=self.replay
+        )
+        workers = min(self.jobs, len(pending), os.cpu_count() or 1)
+        self.effective_jobs = max(1, workers)
         if pending:
-            if self.jobs > 1 and len(pending) > 1 and _fork_available():
+            if workers > 1 and _fork_available():
                 ctx = multiprocessing.get_context("fork")
-                workers = min(self.jobs, len(pending))
+                # Several jobs per task amortize fork/IPC on small grids
+                # while still leaving every worker ~4 chunks to balance
+                # uneven job durations.
+                chunksize = max(1, len(pending) // (workers * 4))
                 with ctx.Pool(processes=workers) as pool:
                     for index, summary, elapsed in pool.imap_unordered(
-                        _execute_indexed, pending, chunksize=1
+                        execute, pending, chunksize=chunksize
                     ):
                         record(index, summary, elapsed)
             else:
+                self.effective_jobs = 1
                 for item in pending:
-                    record(*_execute_indexed(item))
+                    record(*execute(item))
 
         return results  # type: ignore[return-value]
 

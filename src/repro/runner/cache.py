@@ -12,6 +12,14 @@ never read again (``clear()`` reclaims the space).  Writes go through a
 temp file + ``os.replace`` so concurrent workers never expose a torn
 entry.
 
+Stale entries do take disk space until evicted: the cache accepts a
+size cap (``max_bytes``, CLI ``--cache-max-mb``, env
+``$REPRO_CACHE_MAX_MB``) and evicts **least-recently-used** entries
+after every write once the cap is exceeded — each hit touches the
+entry's mtime, so recently replayed grids survive and abandoned
+configurations age out.  Without a cap the cache grows unboundedly, as
+before.
+
 The default root is ``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``,
 else ``~/.cache/repro``.
 """
@@ -29,6 +37,9 @@ from repro.runner.summary import RunSummary
 #: Environment override for the cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Environment override for the result-cache size cap (in MiB).
+CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
+
 #: Bumped when the on-disk schema changes shape.
 CACHE_FORMAT = 1
 
@@ -44,11 +55,72 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
-class ResultCache:
-    """Content-addressed store of :class:`RunSummary` objects."""
+def default_max_bytes(env_var: str = CACHE_MAX_MB_ENV) -> Optional[int]:
+    """The environment's size cap in bytes, or None (unlimited)."""
+    raw = os.environ.get(env_var)
+    if not raw:
+        return None
+    try:
+        megabytes = float(raw)
+    except ValueError:
+        return None
+    return int(megabytes * 1024 * 1024) if megabytes > 0 else None
 
-    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+
+def touch(path: Path) -> None:
+    """Mark one entry recently used (LRU bookkeeping via mtime)."""
+    try:
+        os.utime(path)
+    except OSError:
+        pass
+
+
+def evict_lru(root: Path, pattern: str, max_bytes: Optional[int]) -> int:
+    """Delete oldest-mtime files matching ``pattern`` under ``root``
+    until their total size fits ``max_bytes``.  Returns bytes freed.
+    Concurrent deletion by another process is benign (missing files are
+    skipped)."""
+    if max_bytes is None or not root.is_dir():
+        return 0
+    entries = []
+    total = 0
+    for path in root.glob(pattern):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entries.append((stat.st_mtime, stat.st_size, path))
+        total += stat.st_size
+    freed = 0
+    if total <= max_bytes:
+        return freed
+    entries.sort()
+    for _, size, path in entries:
+        if total - freed <= max_bytes:
+            break
+        try:
+            path.unlink()
+            freed += size
+        except OSError:
+            continue
+    return freed
+
+
+class ResultCache:
+    """Content-addressed store of :class:`RunSummary` objects.
+
+    ``max_bytes`` caps the total size of entries; None (the default)
+    falls back to ``$REPRO_CACHE_MAX_MB``, and an unset environment
+    means unlimited.
+    """
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.max_bytes = max_bytes if max_bytes is not None else default_max_bytes()
         self.hits = 0
         self.misses = 0
 
@@ -75,6 +147,7 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        touch(path)
         return summary
 
     def put(self, spec: JobSpec, summary: RunSummary, elapsed: Optional[float] = None) -> Path:
@@ -93,12 +166,25 @@ class ResultCache:
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         tmp.write_text(json.dumps(payload))
         os.replace(tmp, path)
+        evict_lru(self.root, "*/*.json", self.max_bytes)
         return path
 
     def contains(self, spec: JobSpec) -> bool:
         return self.path_for(spec).is_file()
 
     # ------------------------------------------------------------------
+    def total_bytes(self) -> int:
+        """Total size of every entry (the quantity the cap bounds)."""
+        if not self.root.is_dir():
+            return 0
+        total = 0
+        for entry in self.root.glob("*/*.json"):
+            try:
+                total += entry.stat().st_size
+            except OSError:
+                continue
+        return total
+
     def __len__(self) -> int:
         if not self.root.is_dir():
             return 0

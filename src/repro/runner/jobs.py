@@ -160,28 +160,54 @@ class JobSpec:
             return maker(**config)
         return factory(**config)
 
-    def execute(self):
+    def execute(self, trace_store=None, replay: bool = True):
         """Run the simulation in-process and return a
-        :class:`~repro.runner.summary.RunSummary`."""
+        :class:`~repro.runner.summary.RunSummary`.
+
+        Sweep jobs are decoupled (translation state never feeds back
+        into the hierarchy), so by default they run through the
+        record-once/replay-many pipeline: the hierarchy simulation is
+        captured as per-tap page streams — loaded from ``trace_store``
+        when a matching trace exists, recorded (and stored) otherwise —
+        and the TLB/DLB banks for this spec's ``sizes``/``orgs`` are
+        replayed from the recording.  Results are bit-identical to the
+        coupled scalar path (``replay=False``), which remains the
+        reference implementation.  Timing jobs are always coupled: the
+        translation penalty perturbs the interleaving, so there is
+        nothing to replay.
+        """
         # Imported here: repro.analysis imports the runner for its batch
         # entry points, so a module-level import would be circular.
         from repro.analysis.experiments import run_miss_sweep, run_timing
         from repro.runner.summary import RunSummary
 
-        workload = self.build_workload()
         if self.kind == KIND_SWEEP:
+            orgs = tuple(Organization(value) for value in self.orgs)
+            if replay:
+                from repro.system.taptrace import capture_tap_traces, replay_summary
+
+                traces = trace_store.get(self) if trace_store is not None else None
+                if traces is None:
+                    traces = capture_tap_traces(
+                        self.params,
+                        self.build_workload(),
+                        max_refs_per_node=self.max_refs_per_node,
+                    )
+                    if trace_store is not None:
+                        trace_store.put(self, traces)
+                return replay_summary(traces, self.sizes, orgs)
             result = run_miss_sweep(
                 self.params,
-                workload,
+                self.build_workload(),
                 sizes=self.sizes,
-                orgs=tuple(Organization(value) for value in self.orgs),
+                orgs=orgs,
                 max_refs_per_node=self.max_refs_per_node,
             )
         else:
             result = run_timing(
                 self.params,
                 Scheme(self.scheme),
-                workload,
+                self.build_workload(),
                 self.entries,
                 organization=Organization(self.organization),
                 include_l2_writebacks=self.include_l2_writebacks,
@@ -220,6 +246,35 @@ class JobSpec:
         if version is None:
             from repro import __version__ as version
         payload = json.dumps(self.key(), sort_keys=True) + "\n" + version
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def trace_key(self) -> Dict:
+        """Identity of this spec's *hierarchy* run (the tap-trace key).
+
+        Deliberately excludes the bank configuration (``sizes``/
+        ``orgs``) and the timing knobs: the recorded tap streams depend
+        only on the machine, workload, and reference bound, which is
+        what makes one recording serve every bank design point.
+        """
+        return {
+            "kind": "tap-trace",
+            "params": dataclasses.asdict(self.params),
+            "workload": self.workload,
+            "overrides": [[name, value] for name, value in self.overrides],
+            "variant": self.variant,
+            "max_refs_per_node": self.max_refs_per_node,
+        }
+
+    def trace_hash(self, version: Optional[str] = None) -> str:
+        """SHA-256 identity for the persistent trace store."""
+        if version is None:
+            from repro import __version__ as version
+        from repro.system.taptrace import TRACE_FORMAT
+
+        payload = (
+            json.dumps(self.trace_key(), sort_keys=True)
+            + f"\n{version}\nformat={TRACE_FORMAT}"
+        )
         return hashlib.sha256(payload.encode()).hexdigest()
 
     def describe(self) -> str:

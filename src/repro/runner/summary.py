@@ -77,6 +77,22 @@ class RunSummary:
             study=result.study_results(),
         )
 
+    def with_study(self, study: Optional[StudyResults]) -> "RunSummary":
+        """A copy with the sweep surface replaced (record/replay path:
+        the hierarchy summary is recorded once, the study is replayed
+        per bank configuration)."""
+        return RunSummary(
+            scheme=self.scheme,
+            workload_name=self.workload_name,
+            total_time=self.total_time,
+            refs_per_node=self.refs_per_node,
+            barriers=self.barriers,
+            breakdowns=self.breakdowns,
+            counters=self.counters,
+            timing=self.timing,
+            study=study,
+        )
+
     # -- RunResult-compatible surface -----------------------------------
     @property
     def total_references(self) -> int:

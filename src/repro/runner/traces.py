@@ -1,0 +1,127 @@
+"""Persistent store of recorded tap traces (the record-once half).
+
+A tap trace is keyed by everything that determines the *hierarchy*
+simulation — machine parameters, workload (name + overrides + variant),
+and the reference bound — but **not** the bank configuration
+(``sizes``/``orgs``): one recorded trace replays every bank design.
+:meth:`JobSpec.trace_hash` computes that identity; the store lays
+entries out exactly like :class:`~repro.runner.cache.ResultCache`
+(``<root>/<hh>/<digest>.trace``, atomic writes), with its own LRU size
+cap since traces are orders of magnitude larger than result summaries.
+
+The default root is ``<result-cache root>/traces`` so ``--cache-dir``
+relocates both stores together, and a trace directory remains
+inspectable: each file is self-describing (see
+:mod:`repro.system.taptrace`).  Unreadable, truncated, or corrupt
+trace files are treated as misses and re-recorded.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.runner.cache import default_cache_dir, default_max_bytes, evict_lru, touch
+from repro.runner.jobs import JobSpec
+from repro.system.taptrace import TapTraceSet, TraceError
+
+#: Environment override for the trace-store size cap (in MiB).
+TRACE_MAX_MB_ENV = "REPRO_TRACE_MAX_MB"
+
+#: Traces are large; bound the store even when the user sets no cap.
+DEFAULT_TRACE_MAX_BYTES = 2 * 1024 * 1024 * 1024  # 2 GiB
+
+
+def default_trace_dir() -> Path:
+    """``traces/`` under the result-cache root."""
+    return default_cache_dir() / "traces"
+
+
+class TraceStore:
+    """Content-addressed store of :class:`TapTraceSet` files."""
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_trace_dir()
+        if max_bytes is None:
+            max_bytes = default_max_bytes(TRACE_MAX_MB_ENV)
+        self.max_bytes = max_bytes if max_bytes is not None else DEFAULT_TRACE_MAX_BYTES
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, spec: JobSpec) -> Path:
+        digest = spec.trace_hash()
+        return self.root / digest[:2] / f"{digest}.trace"
+
+    def get(self, spec: JobSpec) -> Optional[TapTraceSet]:
+        """The recorded trace for ``spec``'s hierarchy run, or None."""
+        path = self.path_for(spec)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            traces = TapTraceSet.from_bytes(blob)
+        except TraceError:
+            # Truncated or corrupt: drop it and re-record.
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        touch(path)
+        return traces
+
+    def put(self, spec: JobSpec, traces: TapTraceSet) -> Path:
+        """Store one recorded trace; returns the entry's path."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_bytes(traces.to_bytes())
+        os.replace(tmp, path)
+        evict_lru(self.root, "*/*.trace", self.max_bytes)
+        return path
+
+    def contains(self, spec: JobSpec) -> bool:
+        return self.path_for(spec).is_file()
+
+    # ------------------------------------------------------------------
+    def total_bytes(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        total = 0
+        for entry in self.root.glob("*/*.trace"):
+            try:
+                total += entry.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.trace"))
+
+    def clear(self) -> int:
+        """Delete every trace; returns the number removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for entry in self.root.glob("*/*.trace"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:
+        return f"TraceStore({self.root}, entries={len(self)})"

@@ -1,0 +1,141 @@
+"""Unit tests for the vectorized replay kernels.
+
+The replay contract is *bit-identical miss counts* with the scalar
+:class:`~repro.core.tlb.TranslationBuffer` — same RNG substreams, same
+rejection-sampling victim draws — for every organization, with and
+without numpy.  Every test here checks the fast kernels against the
+scalar reference on the same stream.
+"""
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import make_rng
+from repro.core import replay
+from repro.core.replay import NO_NUMPY_ENV, ReplayStream, bank_miss_counts, get_numpy
+from repro.core.tlb import Organization, TranslationBank, TranslationBuffer
+
+ORGS = (
+    Organization.FULLY_ASSOCIATIVE,
+    Organization.SET_ASSOCIATIVE,
+    Organization.DIRECT_MAPPED,
+)
+
+
+def scalar_misses(pages, entries, org, seed=7, name="bank"):
+    """Reference miss count: feed the stream to a real buffer."""
+    assoc = None
+    if org is Organization.SET_ASSOCIATIVE:
+        assoc = min(TranslationBank.SET_ASSOC_WAYS, entries)
+    rng = make_rng(seed, name, entries, org.value)
+    buffer = TranslationBuffer(entries, org, assoc=assoc, rng=rng)
+    for page in pages:
+        buffer.access(page)
+    return buffer.misses
+
+
+def replay_misses(pages, entries, org, seed=7, name="bank"):
+    rng = make_rng(seed, name, entries, org.value)
+    return ReplayStream(pages).misses(entries, org, rng)
+
+
+def streams():
+    """A spread of access patterns exercising every kernel branch."""
+    rnd = random.Random(42)
+    return {
+        "empty": [],
+        "single": [5],
+        "all-same": [3] * 500,
+        "all-distinct": list(range(400)),
+        "cyclic": [p % 40 for p in range(600)],
+        "skewed": [rnd.randrange(12) for _ in range(800)],
+        "wide-random": [rnd.randrange(5000) for _ in range(1200)],
+        "phase-shift": [p % 16 for p in range(400)]
+        + [200 + (p % 300) for p in range(600)],
+        "huge-pages": [rnd.randrange(1 << 40) for _ in range(300)],
+    }
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("org", ORGS, ids=lambda o: o.value)
+    @pytest.mark.parametrize("entries", (1, 2, 8, 32, 128))
+    def test_matches_scalar_buffer(self, org, entries):
+        for label, pages in streams().items():
+            fast = replay_misses(pages, entries, org)
+            slow = scalar_misses(pages, entries, org)
+            assert fast == slow, (label, org.value, entries)
+
+    def test_stream_reuse_across_configs(self):
+        """One ReplayStream replays many configs without cross-talk."""
+        pages = streams()["phase-shift"]
+        stream = ReplayStream(pages)
+        for org in ORGS:
+            for entries in (8, 32):
+                rng = make_rng(7, "bank", entries, org.value)
+                assert stream.misses(entries, org, rng) == scalar_misses(
+                    pages, entries, org
+                )
+
+    def test_matches_translation_bank(self):
+        """End-to-end: bank_miss_counts vs a live TranslationBank."""
+        pages = streams()["skewed"]
+        configs = [(8, Organization.FULLY_ASSOCIATIVE),
+                   (8, Organization.DIRECT_MAPPED),
+                   (32, Organization.SET_ASSOCIATIVE)]
+        bank = TranslationBank(configs, seed=11, name="l1:0")
+        for page in pages:
+            bank.access(page)
+        fast = bank_miss_counts(pages, configs, seed=11, name="l1:0")
+        for entries, org in configs:
+            assert fast[(entries, org)] == bank.misses(entries, org)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            replay_misses([1, 2, 3], 12, Organization.FULLY_ASSOCIATIVE)
+
+
+class TestNumpyGate:
+    def test_env_var_disables_numpy(self, monkeypatch):
+        monkeypatch.setenv(NO_NUMPY_ENV, "1")
+        monkeypatch.setattr(replay, "_numpy_module", None)
+        assert get_numpy() is None
+        monkeypatch.delenv(NO_NUMPY_ENV)
+        monkeypatch.setattr(replay, "_numpy_module", None)
+        get_numpy()  # either numpy or None; must not raise
+
+    @pytest.mark.parametrize("org", ORGS, ids=lambda o: o.value)
+    def test_fallback_matches_scalar(self, org, monkeypatch):
+        """With numpy gated off, the pure-Python path still agrees."""
+        monkeypatch.setenv(NO_NUMPY_ENV, "1")
+        monkeypatch.setattr(replay, "_numpy_module", None)
+        pages = streams()["cyclic"]
+        assert replay_misses(pages, 8, org) == scalar_misses(pages, 8, org)
+
+    def test_numpy_and_fallback_agree(self, monkeypatch):
+        if get_numpy() is None:
+            pytest.skip("numpy unavailable in this environment")
+        pages = streams()["wide-random"]
+        with_numpy = {
+            org: replay_misses(pages, 32, org) for org in ORGS
+        }
+        monkeypatch.setenv(NO_NUMPY_ENV, "1")
+        monkeypatch.setattr(replay, "_numpy_module", None)
+        without = {org: replay_misses(pages, 32, org) for org in ORGS}
+        assert with_numpy == without
+
+
+class TestBankMissCounts:
+    def test_duplicate_configs_computed_once(self):
+        pages = streams()["cyclic"]
+        configs = [(8, Organization.FULLY_ASSOCIATIVE)] * 3
+        counts = bank_miss_counts(pages, configs, seed=7, name="bank")
+        assert len(counts) == 1
+        assert counts[(8, Organization.FULLY_ASSOCIATIVE)] == scalar_misses(pages, 8, Organization.FULLY_ASSOCIATIVE)
+
+    def test_empty_stream(self):
+        counts = bank_miss_counts(
+            [], [(8, Organization.FULLY_ASSOCIATIVE)], seed=7, name="bank"
+        )
+        assert counts == {(8, Organization.FULLY_ASSOCIATIVE): 0}

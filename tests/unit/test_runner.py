@@ -198,3 +198,99 @@ class TestBatchRunner:
         runner = BatchRunner(jobs=1)
         out = runner.run_labelled([sweep_spec(params, label="sweep"), timing_spec(params)])
         assert set(out) == {"sweep", "timing:fft/V-COMA/8"}
+
+    def test_effective_jobs_clamped_to_cpu_count(self, params, monkeypatch):
+        import os as _os
+
+        monkeypatch.setattr(_os, "cpu_count", lambda: 1)
+        import repro.runner.batch as batch_mod
+
+        runner = BatchRunner(jobs=8)
+        runner.run([timing_spec(params)])
+        assert runner.effective_jobs == 1
+
+    def test_effective_jobs_clamped_to_pending(self, params, tmp_path):
+        # A fully warm cache leaves nothing pending: no workers spawn.
+        cache = ResultCache(tmp_path)
+        spec = timing_spec(params)
+        BatchRunner(jobs=1, cache=cache).run([spec])
+        runner = BatchRunner(jobs=8, cache=cache)
+        runner.run([spec])
+        assert runner.effective_jobs == 1
+        assert runner.simulations_run == 0
+
+    def test_no_replay_matches_replay(self, params):
+        spec = sweep_spec(params)
+        fast = BatchRunner(jobs=1, replay=True).run([spec])[0].summary
+        slow = BatchRunner(jobs=1, replay=False).run([spec])[0].summary
+        assert fast.to_dict() == slow.to_dict()
+
+    def test_trace_store_reused_across_runs(self, params, tmp_path):
+        from repro.runner import TraceStore
+
+        store = TraceStore(root=tmp_path)
+        specs = [sweep_spec(params), sweep_spec(params, sizes=(16, 64))]
+        runner = BatchRunner(jobs=1, trace_store=store)
+        jobs = runner.run(specs)
+        # Both sweeps share one hierarchy identity: record once, replay twice.
+        assert len(store) == 1
+        assert store.hits == 1 and store.misses == 1
+        assert jobs[0].summary.study_results() is not None
+
+
+# ----------------------------------------------------------------------
+# Result-cache size cap
+# ----------------------------------------------------------------------
+class TestCacheSizeCap:
+    def entries(self, params, count):
+        return [
+            timing_spec(params, overrides={"intensity": 0.2 + 0.01 * i})
+            for i in range(count)
+        ]
+
+    def test_lru_eviction_on_put(self, tmp_path, params):
+        import os as _os
+
+        cache = ResultCache(tmp_path)
+        specs = self.entries(params, 3)
+        summary = specs[0].execute()
+        paths = [cache.put(spec, summary, elapsed=1.0) for spec in specs]
+        for age, path in enumerate(paths):
+            _os.utime(path, (1_000_000 + age, 1_000_000 + age))
+        entry_size = paths[0].stat().st_size
+        cache.max_bytes = int(entry_size * 2.5)
+        extra = timing_spec(params, overrides={"intensity": 0.5})
+        cache.put(extra, summary, elapsed=1.0)
+        assert not paths[0].exists(), "oldest entry should be evicted"
+        assert cache.contains(extra)
+        assert cache.total_bytes() <= cache.max_bytes
+
+    def test_hit_refreshes_recency(self, tmp_path, params):
+        import os as _os
+
+        cache = ResultCache(tmp_path)
+        specs = self.entries(params, 2)
+        summary = specs[0].execute()
+        paths = [cache.put(spec, summary, elapsed=1.0) for spec in specs]
+        for age, path in enumerate(paths):
+            _os.utime(path, (1_000_000 + age, 1_000_000 + age))
+        cache.get(specs[0])  # touches the oldest entry
+        entry_size = paths[0].stat().st_size
+        cache.max_bytes = int(entry_size * 2.5)
+        cache.put(timing_spec(params, overrides={"intensity": 0.6}), summary, elapsed=1.0)
+        assert paths[0].exists(), "freshly hit entry must survive eviction"
+        assert not paths[1].exists()
+
+    def test_env_cap_parsing(self, monkeypatch):
+        from repro.runner.cache import CACHE_MAX_MB_ENV, default_max_bytes
+
+        monkeypatch.delenv(CACHE_MAX_MB_ENV, raising=False)
+        assert default_max_bytes() is None
+        monkeypatch.setenv(CACHE_MAX_MB_ENV, "2")
+        assert default_max_bytes() == 2 * 1024 * 1024
+        monkeypatch.setenv(CACHE_MAX_MB_ENV, "0.5")
+        assert default_max_bytes() == 512 * 1024
+        monkeypatch.setenv(CACHE_MAX_MB_ENV, "junk")
+        assert default_max_bytes() is None
+        monkeypatch.setenv(CACHE_MAX_MB_ENV, "-3")
+        assert default_max_bytes() is None
