@@ -24,6 +24,12 @@ Environment knobs:
   slower; used to cross-check the pipeline).
 * ``REPRO_NO_NUMPY`` — honoured by :mod:`repro.core.replay`: forces the
   pure-Python replay kernels even when numpy is importable.
+* ``REPRO_BENCH_RETRIES`` — retry budget for transient job failures
+  (I/O errors, corrupt traces, worker death, timeouts); default 2, so
+  an unattended harness run survives a flaky filesystem.
+* ``REPRO_BENCH_TIMEOUT`` — per-job wall-clock limit in seconds
+  (default: none); a hung simulation is killed, retried, and — if it
+  keeps hanging — reported instead of wedging the harness.
 
 Scaling note: absolute miss counts and percentages differ from the
 paper's 32-node SPARC testbed; what the harness reproduces — and what
@@ -98,11 +104,14 @@ def bench_runner() -> BatchRunner:
     cache = None if no_cache else ResultCache()
     trace_store = None if no_cache else TraceStore()
     jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    timeout = os.environ.get("REPRO_BENCH_TIMEOUT")
     return BatchRunner(
         jobs=jobs,
         cache=cache,
         trace_store=trace_store,
         replay=not os.environ.get("REPRO_NO_REPLAY"),
+        retries=int(os.environ.get("REPRO_BENCH_RETRIES", "2")),
+        timeout=float(timeout) if timeout else None,
     )
 
 

@@ -23,9 +23,14 @@ profile is fixed by the preloaded page placement
 Grid-shaped experiments (:func:`run_sweep_studies`,
 :func:`run_execution_breakdown`) go through
 :class:`~repro.runner.batch.BatchRunner`, so callers can shard them
-across worker processes, reuse the persistent result cache, and (for
+across worker processes, reuse the persistent result cache, (for
 sweeps) share recorded traces via the runner's
-:class:`~repro.runner.traces.TraceStore`.
+:class:`~repro.runner.traces.TraceStore`, and inherit the runner's
+fault-tolerant supervision — retries, per-job timeouts, keep-going
+failure capture, and manifest-based resume (``docs/robustness.md``).
+A keep-going runner omits failed workloads from these helpers' return
+values; the runner's :class:`~repro.runner.summary.GridStats` records
+what was lost.
 """
 
 from __future__ import annotations
@@ -143,7 +148,14 @@ def run_sweep_studies(
             )
         )
     jobs = runner.run(specs)
-    return {name: job.summary.study_results() for name, job in zip(names, jobs)}
+    # A runner in keep_going mode returns JobFailure entries for jobs
+    # that exhausted their retries; those workloads are simply absent
+    # from the result (runner.stats records them).
+    return {
+        name: job.summary.study_results()
+        for name, job in zip(names, jobs)
+        if job.ok
+    }
 
 
 def run_execution_breakdown(
@@ -190,7 +202,9 @@ def run_execution_breakdown(
         )
         for label, scheme, org, variant in combos
     ]
-    return {job.spec.label: job.summary for job in runner.run(specs)}
+    # keep_going runners may return JobFailure bars; drop them (the
+    # runner's stats record the loss) rather than plotting a hole.
+    return {job.spec.label: job.summary for job in runner.run(specs) if job.ok}
 
 
 def pressure_profile(

@@ -62,8 +62,17 @@ def generate_report(
     progress=None,
     trace_store=None,
     replay: bool = True,
+    runner=None,
 ) -> str:
-    """Run the full evaluation and return the report as markdown."""
+    """Run the full evaluation and return the report as markdown.
+
+    Pass ``runner`` (a configured :class:`BatchRunner`) to control
+    supervision — retries, timeouts, ``keep_going``, resume; the
+    ``jobs``/``cache``/... kwargs remain as a shorthand that builds a
+    default runner.  Under ``keep_going`` a workload with any failed
+    job is dropped from every artifact and listed in a closing
+    *Failed jobs* section instead of aborting the report.
+    """
     from repro.runner import BatchRunner, JobSpec
 
     params = params or MachineParams.scaled_down(factor=8, nodes=8, page_size=512)
@@ -71,10 +80,11 @@ def generate_report(
     workloads = list(workloads)
     sizes = tuple(sizes)
     started = time.time()
-    runner = BatchRunner(
-        jobs=jobs, cache=cache, progress=progress,
-        trace_store=trace_store, replay=replay,
-    )
+    if runner is None:
+        runner = BatchRunner(
+            jobs=jobs, cache=cache, progress=progress,
+            trace_store=trace_store, replay=replay,
+        )
 
     def workload_for(name: str):
         return make_workload(name, intensity=intensities.get(name, 1.0))
@@ -127,9 +137,27 @@ def generate_report(
                     label=f"raytrace-contention:{label}",
                 )
             )
-    finished = {
-        job.spec.label: job.summary for job in runner.run(specs + contention_specs)
-    }
+    outcomes = runner.run(specs + contention_specs)
+    failures = [job for job in outcomes if not job.ok]
+    finished = {job.spec.label: job.summary for job in outcomes if job.ok}
+
+    # Under keep_going a failed job drops its workload from every
+    # artifact — a partial row would misrender each table — and the
+    # failure is reported in its own section below.
+    def _labels_for(name: str) -> List[str]:
+        labels = [f"sweep:{name}"]
+        for entries in (8, 16):
+            for prefix in (f"L0-TLB/{entries}", f"DLB/{entries}"):
+                labels.append(f"{prefix}:{name}")
+        return labels
+
+    workloads = [
+        name for name in workloads
+        if all(label in finished for label in _labels_for(name))
+    ]
+    contention_ok = all(
+        spec.label in finished for spec in contention_specs
+    )
 
     studies = {name: finished[f"sweep:{name}"].study_results() for name in workloads}
     timing_cache = {
@@ -166,7 +194,7 @@ def generate_report(
     if include_figures:
         sections.append("## Figure 10 — execution-time breakdown (normalized to L0-TLB/8)")
         for name in workloads:
-            if name == "raytrace":
+            if name == "raytrace" and contention_ok:
                 bars = {
                     label: finished[f"raytrace-contention:{label}"].average_breakdown()
                     for label in ("TLB/8", "DLB/8", "DLB/8/V2")
@@ -189,6 +217,13 @@ def generate_report(
 
     sections.append("## §6 — virtual-tag memory overhead")
     sections.append(_fence(render_tag_overhead_table()))
+
+    if failures:
+        sections.append("## Failed jobs")
+        lines = [job.describe() for job in failures]
+        lines.append("")
+        lines.append(runner.stats.render())
+        sections.append(_fence("\n".join(lines)))
 
     elapsed = time.time() - started
     sections.append(

@@ -20,7 +20,14 @@ relocate the persistent result cache, ``--no-cache`` to bypass it,
 ``--cache-max-mb`` to cap it with LRU eviction, and ``--no-replay`` to
 force miss sweeps down the coupled scalar path instead of the
 record-once/replay-many pipeline (see ``docs/performance.md``).
-Output is plain text, identical to the benchmark harness's.
+
+Grids run under the fault-tolerant supervisor (``docs/robustness.md``):
+``--retries N`` retries transient failures with backoff, ``--timeout S``
+kills and respawns workers holding hung jobs, ``--keep-going`` records
+failures and finishes the grid, and a Ctrl-C'd run prints a
+``--resume RUN_ID`` hint that re-executes only the jobs missing from
+its manifest.  Output is plain text, identical to the benchmark
+harness's.
 """
 
 from __future__ import annotations
@@ -79,6 +86,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run miss sweeps through the coupled scalar path "
                             "instead of the record/replay pipeline "
                             "(bit-identical, much slower)")
+        p.add_argument("--retries", type=int, default=0,
+                       help="retry budget per job for transient failures "
+                            "(I/O errors, corrupt traces, worker death, "
+                            "timeouts); exponential backoff between attempts")
+        p.add_argument("--timeout", type=float, default=None,
+                       help="per-job wall-clock limit in seconds; an "
+                            "overrunning worker is killed and the job "
+                            "retried (needs worker processes)")
+        p.add_argument("--keep-going", action="store_true",
+                       help="record failed jobs and finish the grid instead "
+                            "of failing fast on the first error")
+        p.add_argument("--resume", default=None, metavar="RUN_ID",
+                       help="resume an interrupted run from its manifest, "
+                            "re-executing only the jobs missing from it "
+                            "(run ids are printed on interrupt)")
 
     p = sub.add_parser("describe", help="print the machine configuration")
     add_machine_options(p)
@@ -169,11 +191,14 @@ def batch_runner(args, progress=None):
     """A :class:`~repro.runner.batch.BatchRunner` from CLI options.
 
     The persistent cache is on by default; ``--no-cache`` bypasses it
-    (the tap-trace store included) and ``--cache-dir`` relocates both.
-    ``--cache-max-mb`` caps the result cache with LRU eviction, and
-    ``--no-replay`` forces the scalar reference path for sweeps.
+    (the tap-trace store and run manifests included) and ``--cache-dir``
+    relocates all three.  ``--cache-max-mb`` caps the result cache with
+    LRU eviction, ``--no-replay`` forces the scalar reference path for
+    sweeps, and ``--retries`` / ``--timeout`` / ``--keep-going`` /
+    ``--resume`` configure the fault-tolerant supervisor (see
+    ``docs/robustness.md``).
     """
-    from repro.runner import BatchRunner, ResultCache, TraceStore
+    from repro.runner import BatchRunner, ResultCache, TraceStore, default_manifest_dir
 
     max_bytes = getattr(args, "cache_max_mb", None)
     if max_bytes is not None:
@@ -184,17 +209,46 @@ def batch_runner(args, progress=None):
     trace_store = None if no_cache else TraceStore(
         Path(cache_dir) / "traces" if cache_dir else None
     )
+    manifest_dir = None if no_cache else (
+        Path(cache_dir) / "runs" if cache_dir else default_manifest_dir()
+    )
+    resume = getattr(args, "resume", None)
+    if resume is not None and manifest_dir is None:
+        raise SystemExit("--resume needs run manifests; drop --no-cache")
     return BatchRunner(
         jobs=getattr(args, "jobs", 1),
         cache=cache,
         progress=progress,
         trace_store=trace_store,
         replay=not getattr(args, "no_replay", False),
+        retries=getattr(args, "retries", 0),
+        timeout=getattr(args, "timeout", None),
+        keep_going=getattr(args, "keep_going", False),
+        manifest_dir=manifest_dir,
+        resume=resume,
     )
 
 
+def _print_grid_stats(runner) -> None:
+    """Surface supervision events (failures, retries, timeouts, worker
+    deaths) after a grid; silent when nothing eventful happened."""
+    if runner is not None and runner.stats.eventful:
+        sys.stderr.write(runner.stats.render() + "\n")
+
+
 def _print_progress(done: int, total: int, job) -> None:
-    origin = "cache" if job.from_cache else f"{job.elapsed:.1f}s"
+    if not job.ok:
+        sys.stderr.write(
+            f"[{done}/{total}] {job.spec.describe()} FAILED ({job.error_type}, "
+            f"{job.attempts} attempt{'s' if job.attempts != 1 else ''})\n"
+        )
+        return
+    if job.from_cache:
+        origin = "cache"
+    elif job.from_manifest:
+        origin = "manifest"
+    else:
+        origin = f"{job.elapsed:.1f}s"
     sys.stderr.write(f"[{done}/{total}] {job.spec.describe()} ({origin})\n")
 
 
@@ -210,9 +264,19 @@ def _sweep_studies(params, names, args, runner, sizes=(8, 32, 128, 512)):
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    out = sys.stdout
+    from repro.common.errors import RunInterrupted
 
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args, sys.stdout)
+    except RunInterrupted as exc:
+        # SIGINT mid-grid: the runner already shut its workers down and
+        # flushed the manifest; hand the user the resume recipe.
+        sys.stderr.write(f"\n{exc}\n")
+        return 130
+
+
+def _dispatch(args, out) -> int:
     if args.command == "describe":
         out.write(machine_params(args).describe() + "\n")
         return 0
@@ -228,9 +292,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "sweep":
         sizes = tuple(int(s) for s in args.sizes.split(","))
+        runner = batch_runner(args)
         studies = _sweep_studies(
-            params, [args.workload], args, batch_runner(args), sizes=sizes
+            params, [args.workload], args, runner, sizes=sizes
         )
+        _print_grid_stats(runner)
+        if args.workload not in studies:  # failed under --keep-going
+            return 1
         study = studies[args.workload]
         out.write(render_miss_curves(args.workload, study) + "\n")
         if args.dm:
@@ -250,7 +318,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             max_refs_per_node=args.refs,
             overrides={"intensity": args.intensity},
         )
-        (job,) = batch_runner(args).run([spec])
+        runner = batch_runner(args)
+        (job,) = runner.run([spec])
+        _print_grid_stats(runner)
+        if not job.ok:  # JobFailure under --keep-going
+            return 1
         result = job.summary
         breakdown = result.average_breakdown()
         out.write(f"scheme        : {args.scheme}\n")
@@ -273,14 +345,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "table2":
+        runner = batch_runner(args)
         studies = _sweep_studies(
-            params, _workload_list(args), args, batch_runner(args), sizes=(8, 32, 128)
+            params, _workload_list(args), args, runner, sizes=(8, 32, 128)
         )
+        _print_grid_stats(runner)
         out.write(render_miss_rate_table(studies, sizes=(8, 32, 128)) + "\n")
         return 0
 
     if args.command == "table3":
-        studies = _sweep_studies(params, _workload_list(args), args, batch_runner(args))
+        runner = batch_runner(args)
+        studies = _sweep_studies(params, _workload_list(args), args, runner)
+        _print_grid_stats(runner)
         out.write(render_equivalent_size_table(studies, dlb_entries=8) + "\n")
         return 0
 
@@ -300,7 +376,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                     )
                     for name in names
                 )
-        finished = {job.spec.label: job.summary for job in batch_runner(args).run(specs)}
+        runner = batch_runner(args)
+        finished = {job.spec.label: job.summary for job in runner.run(specs) if job.ok}
+        _print_grid_stats(runner)
+        # Under --keep-going a failed cell drops its whole workload
+        # column (a partial column would misrender the table).
+        names = [
+            name for name in names
+            if all(
+                f"{prefix}:{name}" in finished
+                for entries in (8, 16)
+                for prefix in (f"L0-TLB/{entries}", f"DLB/{entries}")
+            )
+        ]
+        if not names:
+            return 1
         rows = {}
         for entries in (8, 16):
             for prefix in (f"L0-TLB/{entries}", f"DLB/{entries}"):
@@ -312,18 +402,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.analysis.report import write_report
 
         names = _workload_list(args)
-        runner = batch_runner(args)
+        runner = batch_runner(args, progress=_print_progress)
         text = write_report(
             args.out,
             params=params,
             workloads=names,
             include_figures=not args.no_figures,
-            jobs=args.jobs,
-            cache=runner.cache,
-            progress=_print_progress,
-            trace_store=runner.trace_store,
-            replay=runner.replay,
+            runner=runner,
         )
+        _print_grid_stats(runner)
         out.write(f"wrote {args.out} ({len(text.splitlines())} lines)\n")
         return 0
 

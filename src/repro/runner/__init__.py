@@ -24,6 +24,17 @@ JSON-serializable snapshots that expose the same analysis surface as
 :class:`~repro.system.results.RunResult` (breakdowns, overhead ratios,
 sweep studies, timing summaries) without holding the machine alive.
 
+The runner supervises its workers (see :mod:`repro.runner.batch` and
+``docs/robustness.md``): per-job failures come back as structured
+:class:`JobFailure` results instead of aborting the grid, transient
+failures retry with exponential backoff, hung jobs are killed at a
+wall-clock ``timeout``, dead workers respawn, and — given a manifest
+directory — an interrupted run resumes with ``resume=run_id``,
+re-executing only the jobs missing from its append-only manifest
+(:class:`RunManifest`).  :class:`FaultPlan` injects deterministic chaos
+(crashes, hangs, transient errors, corrupt cache/trace bytes) to prove
+those paths.
+
 Sweep jobs additionally run through a record-once/replay-many pipeline
 (see :mod:`repro.system.taptrace` and ``docs/performance.md``): the
 hierarchy simulation is recorded as per-tap page streams — persisted by
@@ -32,19 +43,28 @@ from the recording with vectorized kernels, bit-identical to the
 coupled reference path.
 """
 
-from repro.runner.batch import BatchRunner, JobResult
+from repro.runner.batch import BatchRunner, JobFailure, JobResult
 from repro.runner.cache import ResultCache, default_cache_dir
+from repro.runner.faults import Fault, FaultPlan
 from repro.runner.jobs import JobSpec
-from repro.runner.summary import RunSummary
+from repro.runner.manifest import RunManifest, default_manifest_dir, list_runs
+from repro.runner.summary import GridStats, RunSummary
 from repro.runner.traces import TraceStore, default_trace_dir
 
 __all__ = [
     "BatchRunner",
+    "Fault",
+    "FaultPlan",
+    "GridStats",
+    "JobFailure",
     "JobResult",
     "JobSpec",
     "ResultCache",
+    "RunManifest",
     "RunSummary",
     "TraceStore",
     "default_cache_dir",
+    "default_manifest_dir",
     "default_trace_dir",
+    "list_runs",
 ]

@@ -1,0 +1,218 @@
+"""Deterministic fault injection for the supervised batch runner.
+
+A :class:`FaultPlan` maps job indices to faults that fire on specific
+attempts, letting the test suite (and ``docs/robustness.md`` readers)
+prove every recovery path of :class:`~repro.runner.batch.BatchRunner`
+without flaky timing tricks: the same plan injects the same faults at
+the same points on every run.
+
+Worker-side faults (applied inside the worker process, or in-process on
+a serial run, just before the simulation executes):
+
+* ``CRASH`` — hard worker death via ``os._exit``: models a segfault or
+  an OOM-kill.  The supervisor detects the closed pipe, respawns the
+  worker, and re-dispatches the job.  Never inject on a serial run —
+  it would kill the interpreter itself (``apply_worker`` refuses).
+* ``HANG`` — sleeps far past any sane deadline: models a wedged
+  simulation.  The supervisor's ``timeout`` kills and respawns.
+* ``TRANSIENT`` — raises ``OSError``: models a flaky filesystem or
+  network mount.  Retried with backoff.
+* ``RAISE`` — raises an arbitrary exception by name (resolved from
+  :mod:`repro.common.errors`, then builtins): models deterministic
+  simulation bugs such as ``ProtocolError``.
+
+Parent-side faults (applied in the supervisor before the cache/trace
+lookup for the job):
+
+* ``CORRUPT_CACHE`` — flips bytes in the job's persistent result-cache
+  entry; the cache must treat it as a miss and re-simulate.
+* ``CORRUPT_TRACE`` — flips bytes in the job's stored tap trace; the
+  trace store must quarantine it (``corrupt_dropped``) and re-record.
+
+Every fault fires on attempts ``1..times`` (``times=None`` → every
+attempt, for deterministic-failure tests) and the byte flips are seeded
+by the job index, so a plan is reproducible and picklable across the
+``fork`` boundary.
+"""
+
+from __future__ import annotations
+
+import builtins
+import hashlib
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import repro.common.errors as _errors
+
+#: Worker-side fault kinds.
+CRASH = "crash"
+HANG = "hang"
+TRANSIENT = "transient"
+RAISE = "raise"
+
+#: Parent-side fault kinds.
+CORRUPT_CACHE = "corrupt-cache"
+CORRUPT_TRACE = "corrupt-trace"
+
+WORKER_KINDS = (CRASH, HANG, TRANSIENT, RAISE)
+PARENT_KINDS = (CORRUPT_CACHE, CORRUPT_TRACE)
+
+#: Exit status used by injected worker crashes (recognizably non-zero).
+CRASH_EXIT_CODE = 87
+
+
+def resolve_exception(name: str) -> type:
+    """An exception class by name, from the library's exception modules
+    or builtins — the same lookup the supervisor uses to rehydrate
+    worker-side failures."""
+    cls = getattr(_errors, name, None)
+    if cls is None:
+        cls = getattr(builtins, name, None)
+    if cls is None and name == "TraceError":
+        from repro.system.taptrace import TraceError as cls
+    if isinstance(cls, type) and issubclass(cls, BaseException):
+        return cls
+    raise ValueError(f"unknown exception type {name!r}")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault: what happens, and on how many attempts.
+
+    ``times=None`` fires on every attempt (a deterministic fault);
+    ``times=k`` fires on attempts 1..k and lets attempt k+1 succeed
+    (a transient fault that a retry survives).
+    """
+
+    kind: str
+    times: Optional[int] = 1
+    #: ``RAISE`` only: exception type name and message.
+    exc: str = "OSError"
+    message: str = "injected fault"
+    #: ``HANG`` only: how long the worker sleeps.
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKER_KINDS + PARENT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind == RAISE:
+            resolve_exception(self.exc)  # fail fast on bad plans
+
+    def fires(self, attempt: int) -> bool:
+        return self.times is None or attempt <= self.times
+
+
+def _flip_bytes(path, seed: int) -> bool:
+    """Deterministically corrupt a file in place; False if unreadable."""
+    try:
+        blob = bytearray(path.read_bytes())
+    except OSError:
+        return False
+    if not blob:
+        return False
+    digest = hashlib.sha256(f"fault:{seed}".encode()).digest()
+    # Flip a handful of payload bytes spread across the file; skipping
+    # nothing — even a header flip must be survived.
+    for i, byte in enumerate(digest[:8]):
+        blob[(byte * (i + 1)) % len(blob)] ^= 0xFF
+    try:
+        path.write_bytes(bytes(blob))
+    except OSError:
+        return False
+    return True
+
+
+@dataclass
+class FaultPlan:
+    """A reproducible schedule of injected faults, keyed by job index."""
+
+    faults: Dict[int, Tuple[Fault, ...]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def add(self, index: int, fault: Fault) -> "FaultPlan":
+        self.faults[index] = self.faults.get(index, ()) + (fault,)
+        return self
+
+    def crash(self, index: int, times: int = 1) -> "FaultPlan":
+        return self.add(index, Fault(CRASH, times=times))
+
+    def hang(self, index: int, times: int = 1, seconds: float = 3600.0) -> "FaultPlan":
+        return self.add(index, Fault(HANG, times=times, hang_seconds=seconds))
+
+    def transient(self, index: int, times: int = 1) -> "FaultPlan":
+        return self.add(index, Fault(TRANSIENT, times=times))
+
+    def raising(
+        self, index: int, exc: str, message: str = "injected fault", times: Optional[int] = None
+    ) -> "FaultPlan":
+        return self.add(index, Fault(RAISE, times=times, exc=exc, message=message))
+
+    def corrupt_cache(self, index: int, times: int = 1) -> "FaultPlan":
+        return self.add(index, Fault(CORRUPT_CACHE, times=times))
+
+    def corrupt_trace(self, index: int, times: int = 1) -> "FaultPlan":
+        return self.add(index, Fault(CORRUPT_TRACE, times=times))
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+    def _active(self, index: int, attempt: int, kinds) -> list:
+        return [
+            fault
+            for fault in self.faults.get(index, ())
+            if fault.kind in kinds and fault.fires(attempt)
+        ]
+
+    def apply_worker(self, index: int, attempt: int) -> None:
+        """Fire this job's worker-side faults for ``attempt``.
+
+        Called in the worker just before the simulation runs (the
+        serial path calls it too, where ``CRASH`` is refused because
+        ``os._exit`` would take down the caller's interpreter).
+        """
+        for fault in self._active(index, attempt, WORKER_KINDS):
+            if fault.kind == CRASH:
+                if os.getpid() == self.parent_pid():
+                    raise RuntimeError(
+                        "refusing to inject a crash into the parent process; "
+                        "CRASH faults need a supervised (jobs>1) run"
+                    )
+                os._exit(CRASH_EXIT_CODE)
+            if fault.kind == HANG:
+                time.sleep(fault.hang_seconds)
+                continue
+            if fault.kind == TRANSIENT:
+                raise OSError(f"injected transient fault (job {index}, attempt {attempt})")
+            if fault.kind == RAISE:
+                raise resolve_exception(fault.exc)(fault.message)
+
+    def apply_parent(self, index: int, spec, cache=None, trace_store=None) -> None:
+        """Fire this job's parent-side faults (disk corruption) before
+        the supervisor consults the cache or dispatches the job."""
+        for fault in self._active(index, attempt=1, kinds=PARENT_KINDS):
+            if fault.kind == CORRUPT_CACHE and cache is not None:
+                _flip_bytes(cache.path_for(spec), seed=index)
+            elif fault.kind == CORRUPT_TRACE and trace_store is not None:
+                _flip_bytes(trace_store.path_for(spec), seed=index)
+
+    # ------------------------------------------------------------------
+    _PARENT_PID = None
+
+    def parent_pid(self) -> int:
+        """PID of the process that built the plan (captured lazily on
+        first use in the parent; fork-inherited by workers)."""
+        if FaultPlan._PARENT_PID is None:
+            FaultPlan._PARENT_PID = os.getpid()
+        return FaultPlan._PARENT_PID
+
+    def arm(self) -> "FaultPlan":
+        """Record the calling process as the supervising parent."""
+        FaultPlan._PARENT_PID = os.getpid()
+        return self
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)

@@ -11,11 +11,82 @@ counters, the TLB/DLB timing summary, and (for sweep runs) the full
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.common.stats import AverageBreakdown, TimeBreakdown
 from repro.core.schemes import Scheme
 from repro.system.taps import StudyResults
+
+
+@dataclass
+class GridStats:
+    """Supervision counters for one :meth:`BatchRunner.run` call.
+
+    Everything the fault-tolerant supervisor observed: how many jobs
+    landed (and from where), how many failed after exhausting their
+    retries, and how often each recovery path fired.  Rendered by the
+    CLI after any grid that needed one of those paths.
+    """
+
+    total: int = 0
+    completed: int = 0
+    failed: int = 0
+    from_cache: int = 0
+    from_manifest: int = 0
+    simulations: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    worker_deaths: int = 0
+    transient_failures: int = 0
+    deterministic_failures: int = 0
+    #: Labels of jobs that ended as :class:`JobFailure`s.
+    failure_labels: List[str] = field(default_factory=list)
+
+    @property
+    def eventful(self) -> bool:
+        """Whether anything beyond plain completion happened."""
+        return bool(
+            self.failed or self.retries or self.timeouts or self.worker_deaths
+        )
+
+    def render(self) -> str:
+        restored = []
+        if self.from_cache:
+            restored.append(f"{self.from_cache} cached")
+        if self.from_manifest:
+            restored.append(f"{self.from_manifest} resumed")
+        parts = [
+            f"{self.completed}/{self.total} jobs ok"
+            + (f" ({', '.join(restored)})" if restored else "")
+        ]
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        if self.retries:
+            parts.append(f"{self.retries} retried")
+        if self.timeouts:
+            parts.append(f"{self.timeouts} timed out")
+        if self.worker_deaths:
+            parts.append(f"{self.worker_deaths} worker deaths")
+        text = ", ".join(parts)
+        if self.failure_labels:
+            text += "\nfailed jobs: " + ", ".join(self.failure_labels)
+        return text
+
+    def to_dict(self) -> Dict:
+        return {
+            "total": self.total,
+            "completed": self.completed,
+            "failed": self.failed,
+            "from_cache": self.from_cache,
+            "from_manifest": self.from_manifest,
+            "simulations": self.simulations,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_deaths": self.worker_deaths,
+            "transient_failures": self.transient_failures,
+            "deterministic_failures": self.deterministic_failures,
+        }
 
 
 class RunSummary:

@@ -13,12 +13,15 @@ The default root is ``<result-cache root>/traces`` so ``--cache-dir``
 relocates both stores together, and a trace directory remains
 inspectable: each file is self-describing (see
 :mod:`repro.system.taptrace`).  Unreadable, truncated, or corrupt
-trace files are treated as misses and re-recorded.
+trace files are treated as misses and re-recorded; corrupt ones are
+quarantined (deleted) with a ``RuntimeWarning`` and counted in
+:attr:`TraceStore.corrupt_dropped` so disk corruption stays visible.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from pathlib import Path
 from typing import Optional
 
@@ -52,6 +55,9 @@ class TraceStore:
         self.max_bytes = max_bytes if max_bytes is not None else DEFAULT_TRACE_MAX_BYTES
         self.hits = 0
         self.misses = 0
+        #: Corrupt trace files quarantined (deleted) by :meth:`get` —
+        #: disk corruption is recoverable but must never be silent.
+        self.corrupt_dropped = 0
 
     # ------------------------------------------------------------------
     def path_for(self, spec: JobSpec) -> Path:
@@ -68,9 +74,16 @@ class TraceStore:
             return None
         try:
             traces = TapTraceSet.from_bytes(blob)
-        except TraceError:
-            # Truncated or corrupt: drop it and re-record.
+        except TraceError as exc:
+            # Truncated or corrupt: quarantine it and re-record, loudly
+            # — corruption usually means a sick disk or a torn writer.
             self.misses += 1
+            self.corrupt_dropped += 1
+            warnings.warn(
+                f"dropping corrupt tap trace {path}: {exc}; re-recording",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             try:
                 path.unlink()
             except OSError:

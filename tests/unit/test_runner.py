@@ -199,6 +199,19 @@ class TestBatchRunner:
         out = runner.run_labelled([sweep_spec(params, label="sweep"), timing_spec(params)])
         assert set(out) == {"sweep", "timing:fft/V-COMA/8"}
 
+    def test_run_labelled_rejects_duplicate_labels(self, params):
+        from repro.common.errors import ConfigurationError
+
+        runner = BatchRunner(jobs=1)
+        specs = [sweep_spec(params, label="dup"), timing_spec(params, label="dup")]
+        with pytest.raises(ConfigurationError, match="dup"):
+            runner.run_labelled(specs)
+        # Implicit describe() collisions are caught too.
+        specs = [timing_spec(params), timing_spec(params, overrides={"intensity": 0.3})]
+        assert specs[0].describe() == specs[1].describe()
+        with pytest.raises(ConfigurationError):
+            runner.run_labelled(specs)
+
     def test_effective_jobs_clamped_to_cpu_count(self, params, monkeypatch):
         import os as _os
 
@@ -236,6 +249,106 @@ class TestBatchRunner:
         assert len(store) == 1
         assert store.hits == 1 and store.misses == 1
         assert jobs[0].summary.study_results() is not None
+
+
+# ----------------------------------------------------------------------
+# Supervision: failure capture, retries, keep-going (serial path)
+# ----------------------------------------------------------------------
+class TestSupervisionSerial:
+    def test_deterministic_failure_fails_fast_by_default(self, params):
+        from repro.common.errors import ProtocolError
+        from repro.runner import FaultPlan
+
+        plan = FaultPlan().raising(1, "ProtocolError", "injected bug")
+        runner = BatchRunner(jobs=1, retries=3, retry_delay=0.01, fault_plan=plan)
+        with pytest.raises(ProtocolError, match="injected bug"):
+            runner.run([timing_spec(params), timing_spec(params, label="bad")])
+        # Deterministic failures are never retried, whatever the budget.
+        assert runner.stats.retries == 0
+        assert runner.stats.deterministic_failures == 1
+
+    def test_keep_going_records_structured_failure(self, params):
+        from repro.runner import FaultPlan, JobFailure
+
+        plan = FaultPlan().raising(0, "ConfigurationError", "broken spec")
+        runner = BatchRunner(
+            jobs=1, retries=2, retry_delay=0.01, fault_plan=plan, keep_going=True
+        )
+        good = timing_spec(params)
+        results = runner.run([timing_spec(params, label="bad"), good])
+        assert len(results) == 2
+        failure, success = results
+        assert isinstance(failure, JobFailure)
+        assert not failure.ok and failure.summary is None
+        assert failure.error_type == "ConfigurationError"
+        assert failure.attempts == 1 and not failure.transient
+        assert success.ok and success.summary.total_time > 0
+        assert runner.stats.failed == 1 and runner.stats.completed == 1
+        assert runner.stats.retries == 0
+
+    def test_transient_failure_retried_until_success(self, params):
+        from repro.runner import FaultPlan
+
+        plan = FaultPlan().transient(0, times=2)
+        runner = BatchRunner(jobs=1, retries=2, retry_delay=0.001, fault_plan=plan)
+        (job,) = runner.run([timing_spec(params)])
+        assert job.ok and job.attempts == 3
+        assert runner.stats.retries == 2
+        assert runner.stats.failed == 0
+        # The retried result matches an undisturbed run bit-for-bit.
+        (clean,) = BatchRunner(jobs=1).run([timing_spec(params)])
+        assert job.summary.to_dict() == clean.summary.to_dict()
+
+    def test_transient_failure_exhausts_budget(self, params):
+        from repro.runner import FaultPlan
+
+        plan = FaultPlan().transient(0, times=None)
+        runner = BatchRunner(
+            jobs=1, retries=2, retry_delay=0.001, fault_plan=plan, keep_going=True
+        )
+        (failure,) = runner.run([timing_spec(params)])
+        assert not failure.ok
+        assert failure.transient and failure.error_type == "OSError"
+        assert failure.attempts == 3  # 1 try + 2 retries
+        assert runner.stats.transient_failures == 1
+
+    def test_fail_fast_raises_original_exception_serially(self, params):
+        from repro.runner import FaultPlan
+
+        plan = FaultPlan().transient(0, times=None)
+        runner = BatchRunner(jobs=1, retries=0, fault_plan=plan)
+        with pytest.raises(OSError, match="injected transient fault"):
+            runner.run([timing_spec(params)])
+
+    def test_backoff_is_deterministic_and_exponential(self, params):
+        runner = BatchRunner(jobs=1, retries=3, retry_delay=0.25)
+        first = runner._backoff(3, 1)
+        assert first == runner._backoff(3, 1)
+        assert runner._backoff(3, 2) > first
+        assert runner._backoff(4, 1) != first  # jitter varies by job
+        # Jitter stays within [0.5, 1.0] of the nominal exponential.
+        for attempt in (1, 2, 3):
+            nominal = 0.25 * 2 ** (attempt - 1)
+            delay = runner._backoff(7, attempt)
+            assert 0.5 * nominal <= delay <= nominal
+
+    def test_progress_reports_failures_under_keep_going(self, params):
+        from repro.runner import FaultPlan
+
+        seen = []
+        plan = FaultPlan().raising(0, "ValueError", "boom")
+        runner = BatchRunner(
+            jobs=1, fault_plan=plan, keep_going=True,
+            progress=lambda done, total, job: seen.append((done, total, job.ok)),
+        )
+        runner.run([timing_spec(params), timing_spec(params, label="b")])
+        assert seen == [(1, 2, False), (2, 2, True)]
+
+    def test_resume_requires_manifest_dir(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            BatchRunner(resume="some-run")
 
 
 # ----------------------------------------------------------------------

@@ -192,8 +192,31 @@ class TestTraceStore:
         store = TraceStore(root=tmp_path)
         path = store.put(spec, traces)
         path.write_bytes(path.read_bytes()[:-10])
-        assert store.get(spec) is None
+        with pytest.warns(RuntimeWarning, match="corrupt tap trace"):
+            assert store.get(spec) is None
         assert not path.exists()
+        assert store.corrupt_dropped == 1
+        assert store.misses == 1
+
+    def test_corruption_is_counted_not_silent(self, tmp_path, spec, traces):
+        """Every corruption-taxonomy shape increments corrupt_dropped
+        and warns; a clean miss (absent file) does neither."""
+        store = TraceStore(root=tmp_path)
+        assert store.get(spec) is None  # plain miss: no warning
+        assert store.corrupt_dropped == 0
+        blob = traces.to_bytes()
+        for mangle in (
+            lambda b: b"XXXX" + b[4:],            # bad magic
+            lambda b: b[: len(TRACE_MAGIC) + 10],  # truncated header
+            lambda b: b[:-1],                      # truncated payload
+            lambda b: b[:-1] + bytes([b[-1] ^ 0xFF]),  # flipped byte
+        ):
+            path = store.put(spec, traces)
+            path.write_bytes(mangle(blob))
+            with pytest.warns(RuntimeWarning, match="re-recording"):
+                assert store.get(spec) is None
+            assert not path.exists(), "corrupt file must be quarantined"
+        assert store.corrupt_dropped == 4
 
     def test_lru_eviction_keeps_recently_used(self, tmp_path, params, traces):
         specs = [
