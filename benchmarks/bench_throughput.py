@@ -117,6 +117,54 @@ def serial_throughput(smoke: bool) -> dict:
     return best
 
 
+def tracing_overhead(smoke: bool) -> dict:
+    """Tracing must be free when off and cheap when on.
+
+    Two coupled timing runs per repeat: one with no tracer attached
+    (the production configuration — a single ``is None`` check per hot
+    path) and one streaming the full span/event JSONL to disk.  Best of
+    N for each, in CPU time.  The disabled rate is gated in ``main``
+    against the committed baseline's serial timing rate: observability
+    instrumentation may not tax runs that don't use it by more than
+    ``REPRO_BENCH_OVERHEAD_TOL`` (default 2%).
+    """
+    from repro.obs import Tracer
+
+    intensity = 0.2 if smoke else INTENSITY["radix"]
+    repeats = 1 if smoke else 3
+    rates = {"disabled": 0.0, "enabled": 0.0}
+    # All disabled repeats run before any traced one: a traced run's
+    # allocation churn (millions of JSON records) raises GC pressure
+    # for whatever runs next and would masquerade as hot-path overhead.
+    result = None
+    for _ in range(repeats):
+        workload = make_workload("radix", intensity=intensity)
+        started = time.process_time()
+        result = run_timing(PARAMS, Scheme.V_COMA, workload, 8)
+        elapsed = time.process_time() - started
+        rates["disabled"] = max(rates["disabled"], result.total_references / elapsed)
+    for _ in range(repeats):
+        workload = make_workload("radix", intensity=intensity)
+        with tempfile.TemporaryDirectory(prefix="repro-bench-trace-") as tmp:
+            path = os.path.join(tmp, "bench.jsonl")
+            started = time.process_time()
+            with Tracer(path) as tracer:
+                traced = run_timing(
+                    PARAMS, Scheme.V_COMA, workload, 8, tracer=tracer
+                )
+            elapsed = time.process_time() - started
+        rates["enabled"] = max(rates["enabled"], traced.total_references / elapsed)
+        assert traced.total_time == result.total_time, (
+            "tracing perturbed the simulation"
+        )
+    return {
+        "disabled_refs_per_sec": round(rates["disabled"], 1),
+        "enabled_refs_per_sec": round(rates["enabled"], 1),
+        "enabled_slowdown": round(rates["disabled"] / rates["enabled"], 3),
+        "runs": repeats,
+    }
+
+
 def sweep_grid_specs(workloads, configs=BANK_CONFIGS) -> list:
     """One sweep job per (workload, bank configuration)."""
     return [
@@ -190,6 +238,29 @@ def main(argv=None) -> int:
         print(f"  {kind:>6}: {row['refs_per_sec']:>10.1f} refs/s "
               f"({row['speedup_vs_seed']:.2f}x vs seed)")
 
+    print("tracing overhead (radix timing) ...", flush=True)
+    tracing = tracing_overhead(args.smoke)
+    print(f"  disabled: {tracing['disabled_refs_per_sec']:>10.1f} refs/s")
+    print(f"  enabled : {tracing['enabled_refs_per_sec']:>10.1f} refs/s "
+          f"({tracing['enabled_slowdown']:.2f}x slowdown)")
+    if not args.smoke and os.path.exists(out):
+        # Gate: with no tracer attached, the instrumented hot paths must
+        # stay within tolerance of the committed baseline's timing rate.
+        with open(out) as handle:
+            committed = json.load(handle)
+        base = committed.get("serial", {}).get("timing", {}).get("refs_per_sec")
+        if base and not committed.get("smoke"):
+            tolerance = float(os.environ.get("REPRO_BENCH_OVERHEAD_TOL", "0.02"))
+            ratio = tracing["disabled_refs_per_sec"] / base
+            print(f"  vs committed baseline: {ratio:.3f}x "
+                  f"(gate: >= {1 - tolerance:.2f}x)")
+            assert ratio >= 1 - tolerance, (
+                f"tracing-disabled throughput regressed "
+                f"{(1 - ratio) * 100:.1f}% vs the committed baseline "
+                f"({tracing['disabled_refs_per_sec']:.0f} vs {base:.0f} refs/s); "
+                f"set REPRO_BENCH_OVERHEAD_TOL to widen the gate"
+            )
+
     specs = sweep_grid_specs(workloads, configs)
     print(f"sweep grid: {len(specs)} jobs "
           f"({len(workloads)} workloads x {len(configs)} bank configs)", flush=True)
@@ -246,6 +317,7 @@ def main(argv=None) -> int:
         "cpu_count": os.cpu_count(),
         "params": {"nodes": PARAMS.nodes, "page_size": PARAMS.page_size},
         "serial": serial,
+        "tracing": tracing,
         "grid": grid,
         "grid_no_replay": no_replay_row,
         "timing_grid": timing_row,

@@ -39,6 +39,7 @@ from repro.core import (
     TranslationBank,
     TranslationBuffer,
 )
+from repro.obs import MetricsRegistry, PhaseTimer, Tracer
 from repro.system import (
     Machine,
     RunResult,
@@ -56,7 +57,7 @@ from repro.workloads import (
     make_workload,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AddressLayout",
@@ -68,8 +69,10 @@ __all__ = [
     "DirectoryLookasideBuffer",
     "Machine",
     "MachineParams",
+    "MetricsRegistry",
     "Organization",
     "PAPER_ORDER",
+    "PhaseTimer",
     "ProtocolError",
     "ReproError",
     "RunResult",
@@ -83,6 +86,7 @@ __all__ = [
     "TapPoint",
     "TimeBreakdown",
     "TimingAgent",
+    "Tracer",
     "TranslationBank",
     "TranslationBuffer",
     "TranslationFault",

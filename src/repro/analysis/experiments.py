@@ -54,6 +54,7 @@ def run_miss_sweep(
     sizes: Iterable[int] = DEFAULT_SWEEP_SIZES,
     orgs: Iterable[Organization] = DEFAULT_SWEEP_ORGS,
     max_refs_per_node: Optional[int] = None,
+    tracer=None,
 ) -> RunResult:
     """Simulate once, observing every translation point.
 
@@ -62,10 +63,12 @@ def run_miss_sweep(
     one hierarchy: L0/L1/L2 sit above the AM and are identical in all
     schemes, L3's stream is the AM miss stream, and HOME is the
     home-node directory-lookup stream.  ``result.study_results()``
-    exposes the sweep surface.
+    exposes the sweep surface.  An optional
+    :class:`~repro.obs.trace.Tracer` records the run's span/event
+    stream.
     """
     agent = StudyAgent(params, sizes=sizes, orgs=orgs)
-    machine = Machine(params, Scheme.V_COMA, workload, agent=agent)
+    machine = Machine(params, Scheme.V_COMA, workload, agent=agent, tracer=tracer)
     return Simulator(machine, max_refs_per_node=max_refs_per_node).run()
 
 
@@ -78,13 +81,16 @@ def run_timing(
     include_l2_writebacks: bool = True,
     max_refs_per_node: Optional[int] = None,
     contention: bool = False,
+    tracer=None,
 ) -> RunResult:
     """Coupled run: one real translation structure, penalties charged.
 
     ``contention`` enables the crossbar's input-port serialization —
     needed by experiments whose effect is bandwidth-borne (RAYTRACE's
     padding pathology floods the network with master injections, which
-    a latency-only model would hand out for free).
+    a latency-only model would hand out for free).  An optional
+    :class:`~repro.obs.trace.Tracer` records one span per reference and
+    protocol transaction plus TLB/DLB hit/fill events.
     """
     from repro.system.taps import TimingAgent
 
@@ -95,7 +101,9 @@ def run_timing(
         organization=organization,
         include_l2_writebacks=include_l2_writebacks,
     )
-    machine = Machine(params, scheme, workload, agent=agent, contention=contention)
+    machine = Machine(
+        params, scheme, workload, agent=agent, contention=contention, tracer=tracer
+    )
     return Simulator(machine, max_refs_per_node=max_refs_per_node).run()
 
 

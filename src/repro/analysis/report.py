@@ -63,6 +63,7 @@ def generate_report(
     trace_store=None,
     replay: bool = True,
     runner=None,
+    metrics_out: Optional[str] = None,
 ) -> str:
     """Run the full evaluation and return the report as markdown.
 
@@ -72,7 +73,13 @@ def generate_report(
     default runner.  Under ``keep_going`` a workload with any failed
     job is dropped from every artifact and listed in a closing
     *Failed jobs* section instead of aborting the report.
+
+    ``metrics_out`` writes the report's own telemetry — per-phase wall
+    time and throughput plus the runner's supervision counters — as a
+    metrics file (OpenMetrics text or JSON, chosen by extension; see
+    :func:`repro.obs.export.write_metrics`).
     """
+    from repro.obs import MetricsRegistry, PhaseTimer
     from repro.runner import BatchRunner, JobSpec
 
     params = params or MachineParams.scaled_down(factor=8, nodes=8, page_size=512)
@@ -80,6 +87,8 @@ def generate_report(
     workloads = list(workloads)
     sizes = tuple(sizes)
     started = time.time()
+    registry = MetricsRegistry()
+    timer = PhaseTimer(registry)
     if runner is None:
         runner = BatchRunner(
             jobs=jobs, cache=cache, progress=progress,
@@ -137,7 +146,9 @@ def generate_report(
                     label=f"raytrace-contention:{label}",
                 )
             )
-    outcomes = runner.run(specs + contention_specs)
+    with timer.phase("grid") as grid_phase:
+        outcomes = runner.run(specs + contention_specs)
+        grid_phase.add_items(len(outcomes))
     failures = [job for job in outcomes if not job.ok]
     finished = {job.spec.label: job.summary for job in outcomes if job.ok}
 
@@ -167,19 +178,21 @@ def generate_report(
         for name in workloads
     }
 
-    if include_figures:
-        sections.append("## Figure 8 — translation misses vs TLB/DLB size")
-        for name in workloads:
-            sections.append(_fence(render_miss_curves(name, studies[name])))
-        sections.append("## Figure 9 — direct-mapped vs fully-associative")
-        for name in workloads:
-            sections.append(_fence(render_dm_vs_fa(name, studies[name])))
+    with timer.phase("render") as render_phase:
+        if include_figures:
+            sections.append("## Figure 8 — translation misses vs TLB/DLB size")
+            for name in workloads:
+                sections.append(_fence(render_miss_curves(name, studies[name])))
+            sections.append("## Figure 9 — direct-mapped vs fully-associative")
+            for name in workloads:
+                sections.append(_fence(render_dm_vs_fa(name, studies[name])))
 
-    sections.append("## Table 2 — miss rates per processor reference (%)")
-    sections.append(_fence(render_miss_rate_table(studies, sizes=tuple(s for s in sizes if s <= 128))))
+        sections.append("## Table 2 — miss rates per processor reference (%)")
+        sections.append(_fence(render_miss_rate_table(studies, sizes=tuple(s for s in sizes if s <= 128))))
 
-    sections.append("## Table 3 — TLB size equivalent to an 8-entry DLB")
-    sections.append(_fence(render_equivalent_size_table(studies, dlb_entries=min(sizes))))
+        sections.append("## Table 3 — TLB size equivalent to an 8-entry DLB")
+        sections.append(_fence(render_equivalent_size_table(studies, dlb_entries=min(sizes))))
+        render_phase.add_items(len(workloads))
 
     # ------------------------------------------------------------------
     # timing: table 4 and figure 10
@@ -211,9 +224,11 @@ def generate_report(
     # ------------------------------------------------------------------
     if include_figures:
         sections.append("## Figure 11 — global-set pressure profiles")
-        for name in workloads:
-            profile = pressure_profile(params, workload_for(name))
-            sections.append(_fence(render_pressure_profile(name, profile)))
+        with timer.phase("pressure") as pressure_phase:
+            for name in workloads:
+                profile = pressure_profile(params, workload_for(name))
+                sections.append(_fence(render_pressure_profile(name, profile)))
+            pressure_phase.add_items(len(workloads))
 
     sections.append("## §6 — virtual-tag memory overhead")
     sections.append(_fence(render_tag_overhead_table()))
@@ -224,6 +239,18 @@ def generate_report(
         lines.append("")
         lines.append(runner.stats.render())
         sections.append(_fence("\n".join(lines)))
+
+    sections.append("## Telemetry")
+    telemetry_lines = [runner.stats.render(), runner.stats.render_telemetry()]
+    if timer.phases:
+        telemetry_lines.append(timer.render())
+    sections.append(_fence("\n".join(telemetry_lines)))
+
+    if metrics_out:
+        from repro.obs.export import write_metrics
+
+        runner.stats.to_metrics(registry)
+        write_metrics(registry, metrics_out)
 
     elapsed = time.time() - started
     sections.append(

@@ -9,7 +9,13 @@
     python -m repro table3    [workloads...]
     python -m repro table4    [workloads...]
     python -m repro pressure  raytrace [--v2]
+    python -m repro metrics   radix [--format openmetrics|json] [--trace-out t.jsonl]
     python -m repro workloads
+
+``timing`` accepts ``--trace-out FILE`` to record the structured
+protocol-event trace (JSONL; see ``docs/observability.md``) and
+``--metrics-out FILE`` to export the run's metrics; ``report`` accepts
+``--metrics-out`` for its phase/runner telemetry.
 
 Every command accepts the machine options (``--nodes``, ``--factor``,
 ``--page-size``, ``--seed``) and ``--refs`` to bound references per
@@ -122,6 +128,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--entries", type=int, default=8)
     p.add_argument("--dm", action="store_true", help="direct-mapped TLB/DLB")
     p.add_argument("--intensity", type=float, default=1.0)
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="record the protocol-event trace as JSONL "
+                        "(forces an in-process run; see docs/observability.md)")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write the run's metrics (.prom/.txt = OpenMetrics "
+                        "text, anything else = JSON)")
     add_machine_options(p)
     add_runner_options(p)
 
@@ -136,9 +148,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="reproduction_report.md")
     p.add_argument("--no-figures", action="store_true",
                    help="tables only (much faster)")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write report telemetry (phase timers, runner "
+                        "supervision counters) as a metrics file")
     p.add_argument("workloads", nargs="*", default=[])
     add_machine_options(p)
     add_runner_options(p)
+
+    p = sub.add_parser(
+        "metrics",
+        help="run one simulation and export its metrics "
+             "(OpenMetrics text or JSON)",
+    )
+    p.add_argument("workload", choices=sorted(WORKLOADS))
+    p.add_argument("--scheme", default="V-COMA",
+                   choices=[s.value for s in Scheme])
+    p.add_argument("--entries", type=int, default=8)
+    p.add_argument("--dm", action="store_true", help="direct-mapped TLB/DLB")
+    p.add_argument("--intensity", type=float, default=1.0)
+    p.add_argument("--format", default="openmetrics",
+                   choices=["openmetrics", "json"])
+    p.add_argument("--out", default=None,
+                   help="write to a file instead of stdout")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="also record the protocol-event trace as JSONL")
+    add_machine_options(p)
 
     p = sub.add_parser("validate", help="check the paper's shape-claims on this configuration")
     p.add_argument("--full", action="store_true", help="complete streams (slow)")
@@ -307,23 +341,44 @@ def _dispatch(args, out) -> int:
 
     if args.command == "timing":
         from repro.runner import JobSpec
+        from repro.runner.summary import RunSummary
 
         org = Organization.DIRECT_MAPPED if args.dm else Organization.FULLY_ASSOCIATIVE
-        spec = JobSpec.timing(
-            params,
-            Scheme(args.scheme),
-            args.workload,
-            args.entries,
-            organization=org,
-            max_refs_per_node=args.refs,
-            overrides={"intensity": args.intensity},
-        )
-        runner = batch_runner(args)
-        (job,) = runner.run([spec])
-        _print_grid_stats(runner)
-        if not job.ok:  # JobFailure under --keep-going
-            return 1
-        result = job.summary
+        if args.trace_out:
+            # A tracer holds an open file, so a traced run executes
+            # in-process instead of going through the batch runner.
+            from repro.obs import Tracer
+
+            workload = make_workload(args.workload, intensity=args.intensity)
+            with Tracer(args.trace_out) as tracer:
+                live = run_timing(
+                    params, Scheme(args.scheme), workload, args.entries,
+                    organization=org, max_refs_per_node=args.refs,
+                    tracer=tracer,
+                )
+            result = RunSummary.from_result(live)
+            sys.stderr.write(f"wrote {args.trace_out}\n")
+        else:
+            spec = JobSpec.timing(
+                params,
+                Scheme(args.scheme),
+                args.workload,
+                args.entries,
+                organization=org,
+                max_refs_per_node=args.refs,
+                overrides={"intensity": args.intensity},
+            )
+            runner = batch_runner(args)
+            (job,) = runner.run([spec])
+            _print_grid_stats(runner)
+            if not job.ok:  # JobFailure under --keep-going
+                return 1
+            result = job.summary
+        if args.metrics_out:
+            from repro.obs import write_metrics
+
+            fmt = write_metrics(result.to_metrics(), args.metrics_out)
+            sys.stderr.write(f"wrote {args.metrics_out} ({fmt})\n")
         breakdown = result.average_breakdown()
         out.write(f"scheme        : {args.scheme}\n")
         out.write(f"total time    : {result.total_time:,} cycles\n")
@@ -409,9 +464,43 @@ def _dispatch(args, out) -> int:
             workloads=names,
             include_figures=not args.no_figures,
             runner=runner,
+            metrics_out=args.metrics_out,
         )
         _print_grid_stats(runner)
         out.write(f"wrote {args.out} ({len(text.splitlines())} lines)\n")
+        if args.metrics_out:
+            out.write(f"wrote {args.metrics_out}\n")
+        return 0
+
+    if args.command == "metrics":
+        from repro.obs import Tracer, to_json, to_openmetrics
+        from repro.runner.summary import RunSummary
+
+        org = Organization.DIRECT_MAPPED if args.dm else Organization.FULLY_ASSOCIATIVE
+        workload = make_workload(args.workload, intensity=args.intensity)
+        tracer = Tracer(args.trace_out) if args.trace_out else None
+        try:
+            live = run_timing(
+                params, Scheme(args.scheme), workload, args.entries,
+                organization=org, max_refs_per_node=args.refs,
+                tracer=tracer,
+            )
+        finally:
+            if tracer is not None:
+                tracer.close()
+        registry = RunSummary.from_result(live).to_metrics()
+        rendered = (
+            to_openmetrics(registry) if args.format == "openmetrics"
+            else to_json(registry)
+        )
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(rendered)
+            out.write(f"wrote {args.out}\n")
+        else:
+            out.write(rendered)
+        if args.trace_out:
+            sys.stderr.write(f"wrote {args.trace_out}\n")
         return 0
 
     if args.command == "validate":

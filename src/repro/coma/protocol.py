@@ -54,6 +54,15 @@ class TranslationAgent:
     Every method returns extra stall cycles.
     """
 
+    #: Optional :class:`~repro.obs.trace.Tracer`.  Concrete agents emit
+    #: translation events (``tlb_hit``/``dlb_fill``/...) when attached;
+    #: the base class never reads it.
+    trace = None
+
+    def attach_trace(self, trace) -> None:
+        """Attach a tracer (overridden by agents that emit events)."""
+        self.trace = trace
+
     def uses_tap(self, tap: TapPoint) -> bool:
         """Does this agent do anything at ``tap``?
 
@@ -130,6 +139,11 @@ class ProtocolEngine:
         ]
         self.directories: List[Directory] = [Directory(n) for n in range(params.nodes)]
         self.counters = Counters()
+        #: Optional :class:`~repro.obs.trace.Tracer` (set by the
+        #: machine).  When attached, every demand transaction becomes a
+        #: span and injections/invalidations become events; when None
+        #: the demand path pays one pointer check.
+        self.trace = None
         # Translation cycles of the transaction in flight (reported via
         # AccessOutcome.translation; reset by the demand entry points).
         self._translation_accum = 0
@@ -180,6 +194,11 @@ class ProtocolEngine:
         """Satisfy an SLC miss at ``node`` for the block holding
         ``addr``; guarantees the local AM ends with a readable copy
         (EXCLUSIVE when ``is_write``)."""
+        if self.trace is not None:
+            return self._traced(self._fetch, "protocol.fetch", node, addr, is_write, now)
+        return self._fetch(node, addr, is_write, now)
+
+    def _fetch(self, node: int, addr: int, is_write: bool, now: int) -> AccessOutcome:
         block = self.layout.block_base(addr)
         self._translation_accum = 0
         self.active_demand_block = block
@@ -197,6 +216,36 @@ class ProtocolEngine:
         """A store hit a clean-shared SLC block: the AM must gain
         exclusive ownership.  (If the AM already owns it exclusively the
         access completes locally.)"""
+        if self.trace is not None:
+            return self._traced(
+                self._upgrade_for_write, "protocol.upgrade", node, addr, True, now
+            )
+        return self._upgrade_for_write(node, addr, now)
+
+    def _traced(self, entry_point, span_name, node, addr, is_write, now) -> AccessOutcome:
+        """Run one demand transaction inside a trace span."""
+        trace = self.trace
+        block = self.layout.block_base(addr)
+        trace.begin(
+            span_name,
+            now,
+            node=node,
+            write=bool(is_write),
+            block=block,
+            home=self.home_of(block),
+        )
+        if span_name == "protocol.fetch":
+            outcome = entry_point(node, addr, is_write, now)
+        else:
+            outcome = entry_point(node, addr, now)
+        trace.end(
+            now + outcome.cycles,
+            remote=outcome.remote,
+            translation=outcome.translation,
+        )
+        return outcome
+
+    def _upgrade_for_write(self, node: int, addr: int, now: int) -> AccessOutcome:
         block = self.layout.block_base(addr)
         self._translation_accum = 0
         self.active_demand_block = block
@@ -324,11 +373,16 @@ class ProtocolEngine:
         the slowest ack reaches home (overlapped multicast)."""
         holders = [n for n in entry.holders if n != exclude]
         done = start
+        trace = self.trace
         for holder in holders:
             arrive = self.crossbar.transfer(MessageKind.INVALIDATE, home, holder, start)
             self._invalidate_copy(holder, block)
             ack = self.crossbar.transfer(MessageKind.ACK, holder, home, arrive)
             done = max(done, ack)
+            if trace is not None:
+                trace.event(
+                    "protocol.invalidate", arrive, node=holder, block=block, home=home
+                )
         entry.sharers.difference_update(holders)
         if entry.owner in holders:
             entry.owner = None
@@ -369,6 +423,11 @@ class ProtocolEngine:
         :class:`CapacityError` is raised."""
         self.counters.add("injections")
         home = self.home_of(block)
+        if self.trace is not None:
+            self.trace.event(
+                "protocol.inject", now, node=src, block=block, home=home,
+                state=state.name,
+            )
         t = self.crossbar.transfer(MessageKind.INJECT, src, home, now)
         t += self._dir_lookup_cycles(home, block, for_ownership=False, injection=True, requester=src)
         entry = self.directories[home].entry(block)

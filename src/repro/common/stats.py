@@ -56,6 +56,25 @@ class Counters:
     def to_dict(self) -> Dict[str, int]:
         return dict(self._values)
 
+    def to_metrics(
+        self,
+        registry,
+        family: str = "repro_events_total",
+        help: str = "merged simulator counters by event name",
+        **labels,
+    ):
+        """Project this bag onto one labeled counter family in a
+        :class:`~repro.obs.metrics.MetricsRegistry` (each key becomes
+        an ``event=<name>`` sample).  Summing label-wise matches
+        :meth:`merge`, so registries built from merged bags equal
+        merged registries built from the parts."""
+        from repro.obs.metrics import Counter  # local: common stays low-layer
+
+        metric: Counter = registry.counter(family, help=help)
+        for name, value in self:
+            metric.inc(value, event=name, **labels)
+        return metric
+
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v}" for k, v in self)
         return f"Counters({inner})"
@@ -94,7 +113,11 @@ class LatencyHistogram:
         return dict(sorted(self._buckets.items()))
 
     def percentile(self, fraction: float) -> int:
-        """Upper bound of the bucket containing the given quantile."""
+        """Upper bound of the bucket containing the given quantile.
+
+        An empty histogram has no quantiles; it returns 0 for every
+        valid fraction (the fraction is still range-checked first).
+        """
         if not 0.0 < fraction <= 1.0:
             raise ValueError("fraction must be in (0, 1]")
         if not self.count:
@@ -115,6 +138,41 @@ class LatencyHistogram:
             merged.count += hist.count
             merged.total += hist.total
         return merged
+
+    def to_metrics(
+        self,
+        registry,
+        family: str = "repro_latency_cycles",
+        help: str = "latency distribution (cycles)",
+        **labels,
+    ):
+        """Fold this histogram into a
+        :class:`~repro.obs.metrics.Histogram` family.  Lossless: the
+        registry uses the same power-of-two bucketing, so buckets,
+        count, and sum transfer exactly and bucket-wise merge is
+        preserved."""
+        from repro.obs.metrics import Histogram  # local: common stays low-layer
+
+        metric: Histogram = registry.histogram(family, help=help)
+        metric.absorb(self._buckets, self.count, self.total, **labels)
+        return metric
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-serializable form (bucket keys stringified)."""
+        return {
+            "buckets": {str(b): n for b, n in sorted(self._buckets.items())},
+            "count": self.count,
+            "total": self.total,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "LatencyHistogram":
+        hist = cls()
+        for bucket, count in data.get("buckets", {}).items():
+            hist._buckets[int(bucket)] = int(count)
+        hist.count = int(data.get("count", 0))
+        hist.total = int(data.get("total", 0))
+        return hist
 
     def render(self, width: int = 40) -> str:
         if not self.count:

@@ -45,6 +45,9 @@ class DirectoryLookasideBuffer:
         self._payload: Dict[int, int] = {}
         self._referenced: Dict[int, bool] = {}
         self._modified: Dict[int, bool] = {}
+        #: Optional ``(vpn, hit)`` observer fired by :meth:`translate`
+        #: (tracing; distinct from the underlying buffer's hook).
+        self.trace_hook = None
 
     # ------------------------------------------------------------------
     @property
@@ -78,6 +81,8 @@ class DirectoryLookasideBuffer:
         exclusive ownership of one of its blocks).
         """
         hit = self._buffer.access(vpn)
+        if self.trace_hook is not None:
+            self.trace_hook(vpn, hit)
         if not hit:
             base = self._resolver(vpn)
             self._payload[vpn] = base

@@ -64,6 +64,7 @@ class TranslationBuffer:
         "_where",
         "accesses",
         "misses",
+        "trace_hook",
     )
 
     def __init__(
@@ -99,6 +100,10 @@ class TranslationBuffer:
         self._where: Dict[int, Tuple[int, int]] = {}
         self.accesses = 0
         self.misses = 0
+        #: Optional ``(page, hit)`` observer fired by :meth:`access`
+        #: (tracing).  The :class:`TranslationBank` fan-out bypasses it —
+        #: sweep banks are measurement instruments, not machine state.
+        self.trace_hook = None
 
     # ------------------------------------------------------------------
     @property
@@ -125,10 +130,12 @@ class TranslationBuffer:
         """Look up ``page``; on a miss, install it (evicting a random
         victim if the set is full).  Returns True on a hit."""
         self.accesses += 1
-        if page in self._where:
-            return True
-        self._install(page)
-        return False
+        hit = page in self._where
+        if not hit:
+            self._install(page)
+        if self.trace_hook is not None:
+            self.trace_hook(page, hit)
+        return hit
 
     def _install(self, page: int) -> None:
         """Miss path: count the miss and install the translation,

@@ -60,6 +60,9 @@ class Crossbar:
                 payload = params.request_payload_bytes
             self._kind_info[kind] = (f"msg_{kind.value}", base, payload)
         self._counter_values = self.counters._values
+        #: Optional :class:`~repro.obs.trace.Tracer` (set by the
+        #: machine); every transfer becomes a "msg" event when attached.
+        self.trace = None
 
     def cycles_for(self, kind: MessageKind, src: int = 0, dst: int = 1) -> int:
         """Latency of one message in processor cycles (0 if node-local
@@ -82,6 +85,8 @@ class Crossbar:
         values = self._counter_values
         name, cycles, payload = self._kind_info[kind]
         values[name] = values.get(name, 0) + 1
+        if self.trace is not None:
+            self.trace.event("msg", now, msg=kind.value, src=src, dst=dst)
         if src == dst:
             values["msg_local"] = values.get("msg_local", 0) + 1
             return now

@@ -1,0 +1,188 @@
+"""Frozen trace schema: record shapes and per-scheme event vocabulary.
+
+A trace is a JSONL stream.  The first record is a ``meta`` header; every
+following record is a ``span`` or an ``event``:
+
+``meta``
+    ``{"kind": "meta", "format": TRACE_FORMAT_VERSION, "scheme": ...,
+    "nodes": ..., "version": ...}``
+
+``span``
+    A timed region with identity: ``{"kind": "span", "id": int,
+    "parent": int | None, "name": str, "t0": int, "t1": int,
+    "node": int, ...attrs}``.  ``t1 - t0`` is the span latency in
+    cycles; ``parent`` refers to the enclosing span's ``id``.
+
+``event``
+    A point occurrence: ``{"kind": "event", "span": int | None,
+    "name": str, "t": int, "node": int, ...attrs}``; ``span`` refers to
+    the enclosing span, if any.
+
+The *vocabulary* — which span and event names a scheme may emit — is
+frozen here so the round-trip test can detect drift.  Bumping
+:data:`TRACE_FORMAT_VERSION` (and the goldens) is the explicit act of
+changing it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.schemes import Scheme
+
+#: Bump when record shapes or vocabularies change incompatibly.
+TRACE_FORMAT_VERSION = 1
+
+#: Span names every scheme may emit.
+SPAN_NAMES = frozenset(
+    {
+        "run",  # one per Simulator.run()
+        "ref",  # one per memory reference through Node.reference()
+        "protocol.fetch",  # one per ProtocolEngine.fetch transaction
+        "protocol.upgrade",  # one per write-ownership upgrade
+    }
+)
+
+#: Event names every scheme may emit.
+_COMMON_EVENTS = frozenset(
+    {
+        "phase",  # periodic refs/sec sample from the simulator
+        "msg",  # one crossbar transfer
+        "protocol.inject",  # item re-injected during replacement
+        "protocol.invalidate",  # one invalidation sent to a holder
+        "sim.barrier",  # a node arrived at a barrier
+        "sim.lock",  # a node acquired a lock
+    }
+)
+
+#: Translation events only V-COMA (home-directory DLB) emits.
+_DLB_EVENTS = frozenset({"dlb_hit", "dlb_fill"})
+
+#: Translation events only the processor-side TLB schemes emit.
+_TLB_EVENTS = frozenset({"tlb_hit", "tlb_fill"})
+
+
+class TraceSchemaError(ValueError):
+    """A trace violated the frozen schema."""
+
+
+def scheme_vocabulary(scheme: object) -> Dict[str, frozenset]:
+    """The frozen span/event vocabulary for one scheme.
+
+    ``scheme`` may be a :class:`~repro.core.schemes.Scheme` or its
+    string value (as found in a trace's meta record).
+    """
+    if isinstance(scheme, Scheme):
+        name = scheme.value
+    else:
+        name = str(scheme)
+    if name == Scheme.V_COMA.value:
+        events = _COMMON_EVENTS | _DLB_EVENTS
+    else:
+        events = _COMMON_EVENTS | _TLB_EVENTS
+    return {"spans": SPAN_NAMES, "events": events}
+
+
+_REQUIRED = {
+    "meta": ("format", "scheme"),
+    "span": ("id", "name", "t0", "t1"),
+    "event": ("name", "t"),
+}
+
+
+def validate_trace(records: Iterable[Dict]) -> Dict[str, int]:
+    """Validate a parsed trace against the frozen schema.
+
+    Checks structural integrity (meta header first, required fields,
+    unique span ids, every parent/span reference resolving to a span
+    present in the trace, non-negative latencies) and the per-scheme
+    vocabulary.  Spans are written when they *end*, so a child record
+    precedes its parent's; references are therefore resolved against
+    the full id set, not stream order.  Returns summary stats
+    (``spans``, ``events``, ``roots``) on success and raises
+    :class:`TraceSchemaError` on the first violation.
+    """
+    records = list(records)
+    if not records:
+        raise TraceSchemaError("empty trace: missing meta header")
+
+    meta = records[0]
+    if meta.get("kind") != "meta":
+        raise TraceSchemaError(
+            f"record 0: expected meta header, got {meta.get('kind')!r}"
+        )
+    _require(meta, "meta", 0)
+    if meta["format"] != TRACE_FORMAT_VERSION:
+        raise TraceSchemaError(
+            f"unsupported trace format {meta['format']!r} "
+            f"(expected {TRACE_FORMAT_VERSION})"
+        )
+    vocab = scheme_vocabulary(meta["scheme"])
+
+    # Pass 1: collect span ids (and reject duplicates).
+    span_ids: set = set()
+    for index, record in enumerate(records[1:], start=1):
+        if record.get("kind") == "span":
+            _require(record, "span", index)
+            span_id = record["id"]
+            if span_id in span_ids:
+                raise TraceSchemaError(
+                    f"record {index}: duplicate span id {span_id}"
+                )
+            span_ids.add(span_id)
+
+    # Pass 2: vocabulary, references, latencies.
+    spans = events = roots = 0
+    for index, record in enumerate(records[1:], start=1):
+        kind = record.get("kind")
+        if kind == "span":
+            if record["name"] not in vocab["spans"]:
+                raise TraceSchemaError(
+                    f"record {index}: span name {record['name']!r} not in "
+                    f"the {meta['scheme']} vocabulary"
+                )
+            parent = record.get("parent")
+            if parent is None:
+                roots += 1
+            elif parent not in span_ids:
+                raise TraceSchemaError(
+                    f"record {index}: span {record['id']} has unknown "
+                    f"parent {parent}"
+                )
+            if record["t1"] < record["t0"]:
+                raise TraceSchemaError(
+                    f"record {index}: span {record['id']} has negative "
+                    f"latency (t0={record['t0']}, t1={record['t1']})"
+                )
+            spans += 1
+        elif kind == "event":
+            _require(record, "event", index)
+            if record["name"] not in vocab["events"]:
+                raise TraceSchemaError(
+                    f"record {index}: event name {record['name']!r} not in "
+                    f"the {meta['scheme']} vocabulary"
+                )
+            parent = record.get("span")
+            if parent is not None and parent not in span_ids:
+                raise TraceSchemaError(
+                    f"record {index}: event {record['name']!r} references "
+                    f"unknown span {parent}"
+                )
+            if record["t"] < 0:
+                raise TraceSchemaError(
+                    f"record {index}: event {record['name']!r} at negative "
+                    f"time {record['t']}"
+                )
+            events += 1
+        else:
+            raise TraceSchemaError(f"record {index}: unknown kind {kind!r}")
+
+    return {"spans": spans, "events": events, "roots": roots}
+
+
+def _require(record: Dict, kind: str, index: int) -> None:
+    missing: List[str] = [f for f in _REQUIRED[kind] if f not in record]
+    if missing:
+        raise TraceSchemaError(
+            f"record {index}: {kind} record missing fields {missing}"
+        )

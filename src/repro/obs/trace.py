@@ -1,0 +1,247 @@
+"""Structured span/event tracing with a ring buffer and JSONL streaming.
+
+A :class:`Tracer` records two record shapes (see :mod:`repro.obs.schema`
+for the frozen format):
+
+* **spans** — timed regions with identity and a parent, one per
+  protocol transaction (``protocol.fetch``), memory reference
+  (``ref``), or whole run (``run``);
+* **events** — point occurrences (``dlb_hit``, ``msg``, ``phase``)
+  attached to the innermost open span.
+
+Span nesting is tracked with a stack rather than explicit handles: the
+simulator processes each transaction synchronously to completion, so
+``begin``/``end`` pairs are strictly LIFO per machine.  Ids are
+assigned at ``begin`` and parents captured then, so every reference in
+the output resolves; records are *written* when a span ends (children
+before parents in the stream).
+
+Everything stays in a bounded ring buffer (newest records win) and,
+when a path is given, also streams to a JSONL file with a ``meta``
+header.  The hot paths in node/protocol/crossbar code only touch a
+tracer through an ``is None`` check, so a detached tracer costs one
+pointer comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.obs.schema import TRACE_FORMAT_VERSION
+
+#: Default ring-buffer capacity (records, not bytes).
+DEFAULT_BUFFER_SIZE = 65536
+
+
+def _compact(record: Dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class Tracer:
+    """Collects spans and events; optionally streams them to JSONL.
+
+    Parameters
+    ----------
+    path:
+        Optional JSONL output path.  When given, every record (meta
+        header included) is streamed to the file as it is emitted; the
+        ring buffer is maintained either way.
+    buffer_size:
+        Ring-buffer capacity in records.  When full, the oldest
+        records are dropped from memory (the file, if any, keeps
+        everything).
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        buffer_size: int = DEFAULT_BUFFER_SIZE,
+    ) -> None:
+        if buffer_size <= 0:
+            raise ConfigurationError("buffer_size must be positive")
+        self._path = str(path) if path is not None else None
+        self._file = open(self._path, "w", encoding="utf-8") if self._path else None
+        self.records: deque = deque(maxlen=buffer_size)
+        self._stack: List[Dict] = []
+        self._next_id = 1
+        self._last_time = 0
+        self._meta: Optional[Dict] = None
+        self.dropped = 0  # records evicted from the ring buffer
+
+    # -- lifecycle -----------------------------------------------------
+    def set_meta(self, scheme: str, nodes: int, **extra: object) -> None:
+        """Write the meta header.  Called once when a machine attaches."""
+        if self._meta is not None:
+            return
+        record = {
+            "kind": "meta",
+            "format": TRACE_FORMAT_VERSION,
+            "scheme": str(scheme),
+            "nodes": int(nodes),
+        }
+        record.update(extra)
+        self._meta = record
+        self._emit(record)
+
+    @property
+    def meta(self) -> Optional[Dict]:
+        return self._meta
+
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        """End any still-open spans (at the last seen time) and close
+        the output file."""
+        while self._stack:
+            self.end(self._last_time, truncated=True)
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- recording -----------------------------------------------------
+    @property
+    def current_span_id(self) -> Optional[int]:
+        return self._stack[-1]["id"] if self._stack else None
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    @property
+    def last_time(self) -> int:
+        """Largest timestamp seen so far — the clock for instrumentation
+        sites (TLB/DLB hooks) that don't carry their own ``now``."""
+        return self._last_time
+
+    def begin(
+        self, name: str, t: int, node: Optional[int] = None, **attrs: object
+    ) -> int:
+        """Open a span; returns its id.  The parent is the innermost
+        span already open."""
+        span_id = self._next_id
+        self._next_id += 1
+        record: Dict = {
+            "kind": "span",
+            "id": span_id,
+            "parent": self.current_span_id,
+            "name": name,
+            "t0": int(t),
+            "t1": None,
+        }
+        if node is not None:
+            record["node"] = int(node)
+        if attrs:
+            record.update(attrs)
+        self._stack.append(record)
+        if t > self._last_time:
+            self._last_time = int(t)
+        return span_id
+
+    def end(self, t: int, **attrs: object) -> Dict:
+        """Close the innermost span and emit its record."""
+        if not self._stack:
+            raise ConfigurationError("Tracer.end() with no open span")
+        record = self._stack.pop()
+        record["t1"] = int(t)
+        if attrs:
+            record.update(attrs)
+        if t > self._last_time:
+            self._last_time = int(t)
+        self._emit(record)
+        return record
+
+    def event(
+        self, name: str, t: int, node: Optional[int] = None, **attrs: object
+    ) -> None:
+        """Record a point event under the innermost open span."""
+        record: Dict = {
+            "kind": "event",
+            "span": self.current_span_id,
+            "name": name,
+            "t": int(t),
+        }
+        if node is not None:
+            record["node"] = int(node)
+        if attrs:
+            record.update(attrs)
+        if t > self._last_time:
+            self._last_time = int(t)
+        self._emit(record)
+
+    @contextmanager
+    def span(
+        self, name: str, t0: int, t1_default: Optional[int] = None, **attrs: object
+    ) -> Iterator[Dict]:
+        """Context-managed span.  Mutate the yielded dict to set
+        attributes; set ``dict['t1']`` before exit (else ``t1_default``
+        or ``t0`` is used)."""
+        self.begin(name, t0, **attrs)
+        handle: Dict = {}
+        try:
+            yield handle
+        finally:
+            t1 = handle.pop("t1", t1_default if t1_default is not None else t0)
+            self.end(t1, **handle)
+
+    # -- internals -----------------------------------------------------
+    def _emit(self, record: Dict) -> None:
+        if len(self.records) == self.records.maxlen:
+            self.dropped += 1
+        self.records.append(record)
+        if self._file is not None:
+            self._file.write(_compact(record) + "\n")
+
+    def counts(self) -> Dict[str, int]:
+        """Per-name record counts currently in the ring buffer."""
+        out: Dict[str, int] = {}
+        for record in self.records:
+            if record["kind"] == "meta":
+                continue
+            key = record["name"]
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def __repr__(self) -> str:
+        target = self._path or "<memory>"
+        return (
+            f"Tracer({target}, {len(self.records)} buffered, "
+            f"{self.depth} open)"
+        )
+
+
+def read_trace(path: str) -> List[Dict]:
+    """Parse a JSONL trace file back into a list of records."""
+    records: List[Dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"{path}:{line_no}: malformed trace line ({exc})"
+                ) from None
+    return records
+
+
+def span_tree(records: List[Dict]) -> Dict[Optional[int], List[Dict]]:
+    """Index spans by parent id (``None`` key holds the roots)."""
+    tree: Dict[Optional[int], List[Dict]] = {}
+    for record in records:
+        if record.get("kind") == "span":
+            tree.setdefault(record.get("parent"), []).append(record)
+    return tree

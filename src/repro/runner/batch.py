@@ -398,6 +398,7 @@ class BatchRunner:
         total = len(specs)
         results: List[Optional[JobOutcome]] = [None] * total
         done = 0
+        run_started = time.perf_counter()
         stats = self.stats = GridStats(total=total)
         if self.fault_plan is not None:
             self.fault_plan.arm()
@@ -415,6 +416,7 @@ class BatchRunner:
             results[index] = outcome
             done += 1
             stats.completed += outcome.ok
+            stats.job_seconds += outcome.elapsed
             if self.progress is not None:
                 self.progress(done, total, outcome)
 
@@ -489,6 +491,8 @@ class BatchRunner:
         except KeyboardInterrupt:
             raise RunInterrupted(self.run_id, completed=done, total=total) from None
         finally:
+            stats.wall_seconds = time.perf_counter() - run_started
+            stats.workers = self.effective_jobs
             if manifest is not None:
                 manifest.close()
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.common.stats import AverageBreakdown, TimeBreakdown
+from repro.common.stats import AverageBreakdown, LatencyHistogram, TimeBreakdown
 from repro.core.schemes import Scheme
 from repro.system.taps import StudyResults
 
@@ -42,6 +42,21 @@ class GridStats:
     deterministic_failures: int = 0
     #: Labels of jobs that ended as :class:`JobFailure`s.
     failure_labels: List[str] = field(default_factory=list)
+    #: Wall-clock duration of the whole :meth:`BatchRunner.run` call.
+    wall_seconds: float = 0.0
+    #: Summed per-job execution time (cache/manifest restores count 0).
+    job_seconds: float = 0.0
+    #: Worker processes used (1 = in-process).
+    workers: int = 1
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the worker pool's wall-clock capacity spent
+        executing jobs: ``job_seconds / (wall_seconds * workers)``.
+        Near 1.0 means the pool stayed busy; low values mean the grid
+        was cache-dominated or supervision-bound."""
+        capacity = self.wall_seconds * max(1, self.workers)
+        return self.job_seconds / capacity if capacity > 0 else 0.0
 
     @property
     def eventful(self) -> bool:
@@ -73,6 +88,48 @@ class GridStats:
             text += "\nfailed jobs: " + ", ".join(self.failure_labels)
         return text
 
+    def render_telemetry(self) -> str:
+        """One line of pool telemetry: wall time, summed job time,
+        workers, utilization."""
+        return (
+            f"wall {self.wall_seconds:.2f}s, job time {self.job_seconds:.2f}s, "
+            f"{self.workers} worker{'s' if self.workers != 1 else ''}, "
+            f"utilization {self.utilization:.0%}"
+        )
+
+    def to_metrics(self, registry):
+        """Project the supervision counters and pool telemetry onto a
+        :class:`~repro.obs.metrics.MetricsRegistry`."""
+        runs = registry.counter(
+            "repro_runner_jobs_total", help="grid jobs by disposition"
+        )
+        runs.inc(self.completed, disposition="completed")
+        runs.inc(self.failed, disposition="failed")
+        runs.inc(self.from_cache, disposition="from_cache")
+        runs.inc(self.from_manifest, disposition="from_manifest")
+        registry.counter(
+            "repro_runner_simulations_total", help="simulations actually executed"
+        ).inc(self.simulations)
+        recoveries = registry.counter(
+            "repro_runner_recoveries_total", help="supervision recovery events"
+        )
+        recoveries.inc(self.retries, kind="retry")
+        recoveries.inc(self.timeouts, kind="timeout")
+        recoveries.inc(self.worker_deaths, kind="worker_death")
+        registry.gauge(
+            "repro_runner_wall_seconds", help="wall-clock time of the grid"
+        ).set(round(self.wall_seconds, 6))
+        registry.gauge(
+            "repro_runner_job_seconds", help="summed per-job execution time"
+        ).set(round(self.job_seconds, 6))
+        registry.gauge(
+            "repro_runner_workers", help="worker processes used"
+        ).set(self.workers)
+        registry.gauge(
+            "repro_runner_utilization", help="job_seconds / (wall * workers)"
+        ).set(round(self.utilization, 4))
+        return registry
+
     def to_dict(self) -> Dict:
         return {
             "total": self.total,
@@ -86,6 +143,10 @@ class GridStats:
             "worker_deaths": self.worker_deaths,
             "transient_failures": self.transient_failures,
             "deterministic_failures": self.deterministic_failures,
+            "wall_seconds": self.wall_seconds,
+            "job_seconds": self.job_seconds,
+            "workers": self.workers,
+            "utilization": self.utilization,
         }
 
 
@@ -108,6 +169,8 @@ class RunSummary:
         "counters",
         "timing",
         "study",
+        "read_latency",
+        "write_latency",
     )
 
     def __init__(
@@ -121,6 +184,8 @@ class RunSummary:
         counters: Dict[str, int],
         timing: Optional[Dict[str, float]] = None,
         study: Optional[StudyResults] = None,
+        read_latency: Optional[LatencyHistogram] = None,
+        write_latency: Optional[LatencyHistogram] = None,
     ) -> None:
         self.scheme = scheme
         self.workload_name = workload_name
@@ -131,6 +196,10 @@ class RunSummary:
         self.counters = dict(counters)
         self.timing = timing
         self.study = study
+        #: Machine-wide stall-latency distributions (None on summaries
+        #: deserialized from pre-1.4 cache files).
+        self.read_latency = read_latency
+        self.write_latency = write_latency
 
     # ------------------------------------------------------------------
     @classmethod
@@ -146,6 +215,8 @@ class RunSummary:
             counters=result.counters.to_dict(),
             timing=result.timing_summary(),
             study=result.study_results(),
+            read_latency=result.read_latency_histogram(),
+            write_latency=result.write_latency_histogram(),
         )
 
     def with_study(self, study: Optional[StudyResults]) -> "RunSummary":
@@ -162,6 +233,8 @@ class RunSummary:
             counters=self.counters,
             timing=self.timing,
             study=study,
+            read_latency=self.read_latency,
+            write_latency=self.write_latency,
         )
 
     # -- RunResult-compatible surface -----------------------------------
@@ -186,6 +259,19 @@ class RunSummary:
 
     def study_results(self) -> Optional[StudyResults]:
         return self.study
+
+    def read_latency_histogram(self) -> Optional[LatencyHistogram]:
+        return self.read_latency
+
+    def write_latency_histogram(self) -> Optional[LatencyHistogram]:
+        return self.write_latency
+
+    def to_metrics(self, registry=None):
+        """This run as a :class:`~repro.obs.metrics.MetricsRegistry`
+        (see :func:`repro.obs.export.registry_from_summary`)."""
+        from repro.obs.export import registry_from_summary
+
+        return registry_from_summary(self, registry)
 
     def summary(self) -> Dict[str, float]:
         breakdown = self.average_breakdown()
@@ -214,11 +300,19 @@ class RunSummary:
             "counters": dict(self.counters),
             "timing": self.timing,
             "study": self.study.to_dict() if self.study is not None else None,
+            "read_latency": (
+                self.read_latency.to_dict() if self.read_latency is not None else None
+            ),
+            "write_latency": (
+                self.write_latency.to_dict() if self.write_latency is not None else None
+            ),
         }
 
     @classmethod
     def from_dict(cls, data: Dict) -> "RunSummary":
         study = data.get("study")
+        read_latency = data.get("read_latency")
+        write_latency = data.get("write_latency")
         return cls(
             scheme=Scheme(data["scheme"]),
             workload_name=data["workload"],
@@ -229,6 +323,16 @@ class RunSummary:
             counters=data["counters"],
             timing=data.get("timing"),
             study=StudyResults.from_dict(study) if study is not None else None,
+            read_latency=(
+                LatencyHistogram.from_dict(read_latency)
+                if read_latency is not None
+                else None
+            ),
+            write_latency=(
+                LatencyHistogram.from_dict(write_latency)
+                if write_latency is not None
+                else None
+            ),
         )
 
     def __repr__(self) -> str:

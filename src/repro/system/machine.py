@@ -58,6 +58,7 @@ class Machine:
         swap_threshold: Optional[float] = None,
         topology: Optional[str] = None,
         relaxed_writes: bool = False,
+        tracer=None,
     ) -> None:
         self.params = params
         self.scheme = scheme
@@ -67,6 +68,21 @@ class Machine:
         topo = make_topology(topology, params.nodes) if topology else None
         self.crossbar = Crossbar(params, contention=contention, topology=topo)
         self.counters = Counters()
+        #: Optional :class:`~repro.obs.trace.Tracer`, threaded through
+        #: every instrumented layer (simulator, nodes, protocol engine,
+        #: crossbar, translation agent).  None → tracing disabled.
+        self.tracer = tracer
+        if tracer is not None:
+            from repro import __version__
+
+            tracer.set_meta(
+                scheme=scheme.value,
+                nodes=params.nodes,
+                workload=workload.name,
+                version=__version__,
+            )
+            self.crossbar.trace = tracer
+            self.agent.attach_trace(tracer)
 
         self._virtual_am = scheme.uses_virtual_am
         self.page_map: Dict[int, int] = {}
@@ -94,6 +110,8 @@ class Machine:
             inclusion_hook=self._inclusion_hook,
             rng=make_rng(params.seed, "inject"),
         )
+        if tracer is not None:
+            self.engine.trace = tracer
 
         # -- segments and workload context ------------------------------
         self.space = SegmentedAddressSpace(params.page_size)
@@ -122,6 +140,7 @@ class Machine:
                 to_physical=self._to_physical,
                 to_virtual=self._to_virtual,
                 relaxed_writes=relaxed_writes,
+                trace=tracer,
             )
             for n in range(params.nodes)
         ]
@@ -287,6 +306,17 @@ class Machine:
         merged = self.counters.merge(self.engine.counters).merge(self.crossbar.counters)
         for node in self.nodes:
             merged = merged.merge(node.counters)
+        # Surface the timing agent's translation statistics as counters
+        # (derived here, not maintained on the hot path).  For V-COMA the
+        # structure is the home-directory DLB, otherwise a per-node TLB;
+        # with tracing on, ``dlb_hit + dlb_fill`` events reconcile
+        # exactly with ``dlb_accesses`` (and fills with misses).
+        agent = self.agent
+        accesses = getattr(agent, "total_accesses", None)
+        if accesses is not None:
+            prefix = "dlb" if self.scheme is Scheme.V_COMA else "tlb"
+            merged[f"{prefix}_accesses"] = accesses
+            merged[f"{prefix}_misses"] = agent.total_misses
         return merged
 
     def __repr__(self) -> str:

@@ -56,6 +56,7 @@ class Node:
         "_at_l1",
         "_at_l2",
         "_counter_values",
+        "_trace",
     )
 
     def __init__(
@@ -68,6 +69,7 @@ class Node:
         to_physical: Optional[AddrMap] = None,
         to_virtual: Optional[AddrMap] = None,
         relaxed_writes: bool = False,
+        trace=None,
     ) -> None:
         self.id = node_id
         self.params = params
@@ -105,6 +107,9 @@ class Node:
         self._at_l1 = agent.at_l1 if agent.uses_tap(TapPoint.L1) else None
         self._at_l2 = agent.at_l2 if agent.uses_tap(TapPoint.L2) else None
         self._counter_values = self.counters._values
+        #: Optional :class:`~repro.obs.trace.Tracer`; one "ref" span per
+        #: reference when attached, one is-None check when not.
+        self._trace = trace
 
     # ------------------------------------------------------------------
     # main entry: one load or store
@@ -117,6 +122,8 @@ class Node:
         as usual, but the processor does not wait: their cycles are
         recorded in the ``hidden_store_cycles`` counter and zero is
         returned."""
+        if self._trace is not None:
+            return self._traced_reference(op_is_write, vaddr, now)
         if op_is_write and self.relaxed_writes:
             breakdown = self.breakdown
             before = (breakdown.loc_stall, breakdown.rem_stall, breakdown.tlb_stall)
@@ -130,6 +137,29 @@ class Node:
             self.write_latency.record(cycles)
         else:
             self.read_latency.record(cycles)
+        return cycles
+
+    def _traced_reference(self, op_is_write: bool, vaddr: int, now: int) -> int:
+        """One reference wrapped in a "ref" span.  The body re-enters
+        :meth:`reference` with the tracer detached so the plain path
+        stays flat; protocol spans still nest (the engine holds its own
+        reference to the same tracer)."""
+        trace = self._trace
+        breakdown = self.breakdown
+        tlb_before = breakdown.tlb_stall
+        trace.begin(
+            "ref",
+            now,
+            node=self.id,
+            op="write" if op_is_write else "read",
+            vpn=vaddr >> self._page_bits,
+        )
+        self._trace = None
+        try:
+            cycles = self.reference(op_is_write, vaddr, now)
+        finally:
+            self._trace = trace
+        trace.end(now + cycles, cycles=cycles, tlb=breakdown.tlb_stall - tlb_before)
         return cycles
 
     def _process(self, op_is_write: bool, vaddr: int, now: int) -> int:

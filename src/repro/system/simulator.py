@@ -40,10 +40,14 @@ class Simulator:
         machine: Machine,
         max_refs_per_node: Optional[int] = None,
         check_invariants_every: int = 0,
+        phase_every: int = 2048,
     ) -> None:
         self.machine = machine
         self.max_refs_per_node = max_refs_per_node
         self.check_invariants_every = check_invariants_every
+        #: With a tracer attached, emit one "phase" progress event per
+        #: this many processed references (refs/sec over simulated time).
+        self.phase_every = phase_every
 
     def run(self) -> RunResult:
         machine = self.machine
@@ -58,6 +62,10 @@ class Simulator:
         barriers_seen = 0
         total_refs_processed = 0
         check_every = self.check_invariants_every
+        trace = getattr(machine, "tracer", None)
+        phase_every = self.phase_every if trace is not None else 0
+        if trace is not None:
+            trace.begin("run", 0, max_refs=self.max_refs_per_node)
 
         # Barrier state: id -> {node: arrival_time}
         barrier_arrivals: Dict[int, Dict[int, int]] = {}
@@ -118,8 +126,12 @@ class Simulator:
                 heappush(heap, (clock[n], n))
                 if check_every and total_refs_processed % check_every == 0:
                     machine.engine.check_invariants()
+                if phase_every and total_refs_processed % phase_every == 0:
+                    trace.event("phase", clock[n], refs=total_refs_processed)
             elif op == BARRIER:
                 barriers_seen += 1
+                if trace is not None:
+                    trace.event("sim.barrier", now, node=n, barrier=value)
                 arrivals = barrier_arrivals.setdefault(value, {})
                 if n in arrivals:
                     raise ReproError(
@@ -135,6 +147,8 @@ class Simulator:
                 holder = lock_holder.get(word)
                 if holder is None:
                     lock_holder[word] = n
+                    if trace is not None:
+                        trace.event("sim.lock", now, node=n, word=word)
                     stall = nodes[n].reference(True, word, now)
                     clock[n] = now + stall
                     heappush(heap, (clock[n], n))
@@ -175,6 +189,9 @@ class Simulator:
         end_time = max(clock) if clock else 0
         for n in range(count):
             nodes[n].breakdown.sync += end_time - clock[n]
+
+        if trace is not None:
+            trace.end(end_time, refs=total_refs_processed, barriers=barriers_seen)
 
         return RunResult(
             machine=machine,

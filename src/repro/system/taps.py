@@ -226,6 +226,33 @@ class TimingAgent(TranslationAgent):
             for node in range(params.nodes)
         ]
 
+    # -- tracing --------------------------------------------------------
+    def attach_trace(self, trace) -> None:
+        """Emit one ``tlb_hit``/``tlb_fill`` (or, for V-COMA,
+        ``dlb_hit``/``dlb_fill``) event per translation lookup, wired
+        through each buffer's ``trace_hook`` so the tap feeds stay
+        unchanged.  Event counts reconcile exactly with the
+        ``tlb_accesses``/``tlb_misses`` (``dlb_*``) counters the machine
+        derives from this agent: hits + fills = accesses, fills =
+        misses."""
+        self.trace = trace
+        prefix = "dlb" if self.scheme is Scheme.V_COMA else "tlb"
+        hit_name, fill_name = f"{prefix}_hit", f"{prefix}_fill"
+        for node, buffer in enumerate(self._buffers):
+            buffer.trace_hook = self._make_hook(trace, hit_name, fill_name, node)
+
+    @staticmethod
+    def _make_hook(trace, hit_name: str, fill_name: str, node: int):
+        def hook(page: int, hit: bool) -> None:
+            trace.event(
+                hit_name if hit else fill_name,
+                trace.last_time,
+                node=node,
+                vpn=page,
+            )
+
+        return hook
+
     # -- statistics -----------------------------------------------------
     @property
     def total_misses(self) -> int:

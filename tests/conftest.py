@@ -12,6 +12,21 @@ from repro import MachineParams, Scheme, make_workload
 from repro.common.address import AddressLayout
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden metrics snapshots in tests/golden/ "
+             "instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture(autouse=True)
 def isolated_result_cache(tmp_path, monkeypatch):
     """Point the persistent simulation cache at a per-test directory.

@@ -1,0 +1,108 @@
+"""Golden-snapshot suite: the metrics surface of a tiny seeded run.
+
+One deterministic 4-node RADIX simulation per scheme (the physical
+baseline L0-TLB, the split-cache L2-TLB point, and V-COMA), exported
+through :func:`repro.obs.export.registry_from_summary` and compared
+field-by-field against the JSON snapshots in ``tests/golden/``.  Any
+change to the simulator, the protocol, the counters, or the exporter
+that shifts a single sample shows up as a named diff line.
+
+The snapshot deliberately contains no wall-clock values — only
+simulated-time quantities — so it is bit-identical across hosts and
+across worker counts (``--jobs 1`` vs ``--jobs 2``; asserted below).
+
+To refresh after an intentional behavior change::
+
+    PYTHONPATH=src python -m pytest tests/integration/test_golden_metrics.py \
+        --update-golden
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import MachineParams, Scheme
+from repro.obs import to_json
+from repro.obs.export import diff_registries
+from repro.obs.metrics import MetricsRegistry
+from repro.runner import BatchRunner, JobSpec
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+SCHEMES = (Scheme.L0_TLB, Scheme.L2_TLB, Scheme.V_COMA)
+WORKLOAD = "radix"
+INTENSITY = 0.2
+ENTRIES = 8
+MAX_REFS = 400
+
+
+@pytest.fixture(scope="module")
+def params():
+    return MachineParams.scaled_down(
+        factor=64, nodes=4, page_size=256
+    ).replace(seed=1998)
+
+
+def golden_path(scheme: Scheme) -> Path:
+    slug = scheme.value.lower().replace("-", "_")
+    return GOLDEN_DIR / f"metrics_{slug}_{WORKLOAD}.json"
+
+
+def spec_for(params, scheme: Scheme) -> JobSpec:
+    return JobSpec.timing(
+        params,
+        scheme,
+        WORKLOAD,
+        ENTRIES,
+        max_refs_per_node=MAX_REFS,
+        overrides={"intensity": INTENSITY},
+        label=f"golden:{scheme.value}",
+    )
+
+
+def run_registry(params, scheme: Scheme, jobs: int = 1) -> MetricsRegistry:
+    (job,) = BatchRunner(jobs=jobs, cache=None).run([spec_for(params, scheme)])
+    assert job.ok, job.describe()
+    return job.summary.to_metrics()
+
+
+@pytest.mark.parametrize("scheme", SCHEMES, ids=[s.value for s in SCHEMES])
+def test_metrics_match_golden(params, scheme, update_golden):
+    registry = run_registry(params, scheme)
+    path = golden_path(scheme)
+    if update_golden:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(to_json(registry))
+        pytest.skip(f"rewrote {path.name}")
+    assert path.exists(), (
+        f"missing golden snapshot {path}; run with --update-golden to create it"
+    )
+    golden = MetricsRegistry.from_dict(json.loads(path.read_text()))
+    diff = diff_registries(golden, registry)
+    assert not diff, f"{path.name} diverged:\n{diff}"
+    # The serialized form must match bit-for-bit too (key order, float
+    # formatting) — the goldens double as exporter-format regressions.
+    assert to_json(registry) == path.read_text()
+
+
+def test_golden_identical_across_worker_counts(params):
+    serial = to_json(run_registry(params, Scheme.V_COMA, jobs=1))
+    sharded = to_json(run_registry(params, Scheme.V_COMA, jobs=2))
+    assert serial == sharded
+
+
+def test_golden_roundtrips_through_dict(params):
+    registry = run_registry(params, Scheme.V_COMA)
+    clone = MetricsRegistry.from_dict(json.loads(to_json(registry)))
+    assert clone.to_dict() == registry.to_dict()
+    assert not diff_registries(registry, clone)
+
+
+def test_diff_names_every_divergence(params):
+    registry = run_registry(params, Scheme.V_COMA)
+    mutated = MetricsRegistry.from_dict(registry.to_dict())
+    mutated.counter("repro_events_total").inc(1, event="reads")
+    mutated.counter("repro_golden_extra_total").inc(3)
+    diff = diff_registries(registry, mutated)
+    assert "repro_events_total" in diff
+    assert "repro_golden_extra_total" in diff

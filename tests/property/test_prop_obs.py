@@ -1,0 +1,154 @@
+"""Property tests: metrics-registry merge laws and histogram percentiles.
+
+The registry's merge is the backbone of every cross-process aggregation
+(worker shards, golden snapshots), so its algebra has to be exact:
+counter and histogram merge form a commutative monoid, gauge merge (max)
+is additionally idempotent, and a merged histogram is indistinguishable
+from one that observed every sample directly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.stats import Counters, LatencyHistogram
+from repro.obs import MetricsRegistry
+
+labels = st.dictionaries(
+    st.sampled_from(["node", "scheme", "op"]),
+    st.sampled_from(["0", "1", "read", "write", "V-COMA"]),
+    max_size=2,
+)
+counter_events = st.lists(
+    st.tuples(st.sampled_from(["hits", "misses", "refs"]), labels,
+              st.integers(min_value=0, max_value=1000)),
+    max_size=30,
+)
+samples = st.lists(st.integers(min_value=0, max_value=1 << 20), max_size=200)
+fractions = st.lists(
+    st.floats(min_value=0.001, max_value=1.0, allow_nan=False),
+    min_size=2, max_size=10,
+)
+
+
+def registry_from(events):
+    registry = MetricsRegistry()
+    metric = registry.counter("repro_test_total")
+    for name, lbls, amount in events:
+        metric.inc(amount, event=name, **lbls)
+    return registry
+
+
+@given(a=counter_events, b=counter_events)
+@settings(max_examples=100, deadline=None)
+def test_counter_merge_commutative(a, b):
+    ra, rb = registry_from(a), registry_from(b)
+    assert ra.merge(rb).to_dict() == rb.merge(ra).to_dict()
+
+
+@given(a=counter_events, b=counter_events, c=counter_events)
+@settings(max_examples=100, deadline=None)
+def test_counter_merge_associative(a, b, c):
+    ra, rb, rc = registry_from(a), registry_from(b), registry_from(c)
+    assert ra.merge(rb).merge(rc).to_dict() == ra.merge(rb.merge(rc)).to_dict()
+
+
+@given(a=counter_events, b=counter_events)
+@settings(max_examples=100, deadline=None)
+def test_merge_leaves_operands_untouched(a, b):
+    ra, rb = registry_from(a), registry_from(b)
+    before_a, before_b = ra.to_dict(), rb.to_dict()
+    ra.merge(rb)
+    assert ra.to_dict() == before_a
+    assert rb.to_dict() == before_b
+
+
+def histogram_registry(values, **lbls):
+    registry = MetricsRegistry()
+    metric = registry.histogram("repro_test_latency")
+    for value in values:
+        metric.observe(value, **lbls)
+    return registry
+
+
+@given(a=samples, b=samples)
+@settings(max_examples=100, deadline=None)
+def test_histogram_merge_commutative(a, b):
+    ra, rb = histogram_registry(a), histogram_registry(b)
+    assert ra.merge(rb).to_dict() == rb.merge(ra).to_dict()
+
+
+@given(a=samples, b=samples, c=samples)
+@settings(max_examples=60, deadline=None)
+def test_histogram_merge_associative(a, b, c):
+    ra, rb, rc = (histogram_registry(v) for v in (a, b, c))
+    assert ra.merge(rb).merge(rc).to_dict() == ra.merge(rb.merge(rc)).to_dict()
+
+
+@given(a=samples, b=samples)
+@settings(max_examples=100, deadline=None)
+def test_merged_histogram_equals_union_of_samples(a, b):
+    merged = histogram_registry(a).merge(histogram_registry(b))
+    union = histogram_registry(a + b)
+    assert merged.to_dict() == union.to_dict()
+    state = merged.get("repro_test_latency").state()
+    assert state.count == len(a) + len(b)
+    assert state.total == sum(a) + sum(b)
+
+
+@given(a=samples, b=samples)
+@settings(max_examples=100, deadline=None)
+def test_latency_histogram_merge_totals(a, b):
+    ha, hb = LatencyHistogram(), LatencyHistogram()
+    for value in a:
+        ha.record(value)
+    for value in b:
+        hb.record(value)
+    merged = ha.merge(hb)
+    assert merged.count == len(a) + len(b)
+    assert merged.total == sum(a) + sum(b)
+
+
+@given(values=samples, fracs=fractions)
+@settings(max_examples=100, deadline=None)
+def test_percentile_monotone_in_fraction(values, fracs):
+    histogram = LatencyHistogram()
+    for value in values:
+        histogram.record(value)
+    ordered = sorted(fracs)
+    points = [histogram.percentile(f) for f in ordered]
+    assert points == sorted(points)
+
+
+def test_percentile_of_empty_histogram_is_zero():
+    # Regression: used to fall through the bucket walk and return the
+    # top bucket's upper bound for an empty histogram.
+    histogram = LatencyHistogram()
+    assert histogram.percentile(0.5) == 0
+    assert histogram.percentile(1.0) == 0
+
+
+@given(values=samples)
+@settings(max_examples=100, deadline=None)
+def test_percentile_bounds_contain_samples(values):
+    histogram = LatencyHistogram()
+    for value in values:
+        histogram.record(value)
+    if not values:
+        return
+    # p100 is an upper bound of the max sample's bucket; p-epsilon is at
+    # least the smallest bucket's bound, never negative.
+    assert histogram.percentile(1.0) >= max(values)
+    assert histogram.percentile(0.001) >= 0
+
+
+@given(events=counter_events)
+@settings(max_examples=60, deadline=None)
+def test_counters_to_metrics_preserves_totals(events):
+    counters = Counters()
+    for name, _, amount in events:
+        counters.add(name, amount)
+    registry = MetricsRegistry()
+    counters.to_metrics(registry)
+    metric = registry.get("repro_events_total")
+    for name in {name for name, _, _ in events}:
+        assert metric.value(event=name) == counters[name]

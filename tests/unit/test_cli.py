@@ -144,3 +144,62 @@ class TestTraceCommands:
         )
         assert code == 0
         assert "keys_out" in out and "writes%" in out
+
+
+class TestObservabilityCommands:
+    def test_metrics_command_openmetrics(self, capsys):
+        code, out = run_cli(
+            capsys, "metrics", "radix", "--intensity", "0.2", *FAST
+        )
+        assert code == 0
+        assert "# TYPE repro_events_total counter" in out
+        assert out.rstrip().endswith("# EOF")
+
+    def test_metrics_command_json_to_file(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "metrics.json"
+        trace_file = tmp_path / "run.jsonl"
+        code, out = run_cli(
+            capsys, "metrics", "radix", "--intensity", "0.2",
+            "--format", "json", "--out", str(out_file),
+            "--trace-out", str(trace_file), *FAST
+        )
+        assert code == 0
+        data = json.loads(out_file.read_text())
+        assert "repro_events_total" in data
+
+        from repro.obs import read_trace, validate_trace
+
+        validate_trace(read_trace(str(trace_file)))
+
+    def test_timing_trace_and_metrics_out(self, capsys, tmp_path):
+        trace_file = tmp_path / "timing.jsonl"
+        prom_file = tmp_path / "timing.prom"
+        code, out = run_cli(
+            capsys, "timing", "radix", "--intensity", "0.2",
+            "--trace-out", str(trace_file),
+            "--metrics-out", str(prom_file), *FAST
+        )
+        assert code == 0
+        assert "translation" in out
+        assert prom_file.read_text().endswith("# EOF\n")
+
+        from repro.obs import read_trace, validate_trace
+
+        validate_trace(read_trace(str(trace_file)))
+
+    def test_report_metrics_out(self, capsys, tmp_path):
+        out_file = tmp_path / "report.md"
+        metrics_file = tmp_path / "report.json"
+        code, out = run_cli(
+            capsys, "report", "ocean", "--out", str(out_file),
+            "--no-figures", "--metrics-out", str(metrics_file), *FAST
+        )
+        assert code == 0
+        assert "Telemetry" in out_file.read_text()
+        import json
+
+        data = json.loads(metrics_file.read_text())
+        assert "repro_runner_jobs_total" in data
+        assert "repro_phase_seconds" in data
