@@ -30,6 +30,11 @@ Environment knobs:
 * ``REPRO_BENCH_TIMEOUT`` — per-job wall-clock limit in seconds
   (default: none); a hung simulation is killed, retried, and — if it
   keeps hanging — reported instead of wedging the harness.
+* ``REPRO_HISTORY_DIR`` — run-history store directory (default: the
+  shared cache root).  ``bench_throughput.py`` appends one
+  :class:`~repro.obs.history.HistoryEntry` per run there when asked
+  (``--history-dir`` or this variable), feeding the ``repro history``
+  regression detector; see ``docs/observability.md``.
 
 Scaling note: absolute miss counts and percentages differ from the
 paper's 32-node SPARC testbed; what the harness reproduces — and what
@@ -113,6 +118,31 @@ def bench_runner() -> BatchRunner:
         retries=int(os.environ.get("REPRO_BENCH_RETRIES", "2")),
         timeout=float(timeout) if timeout else None,
     )
+
+
+def bench_history(root: str = None):
+    """The run-history store the harness appends measured runs to.
+
+    ``root`` (or ``REPRO_HISTORY_DIR``) overrides the location; the
+    default is the shared cache root, so local bench runs and CI runs
+    against a checked-out ``.history`` directory use the same code
+    path.
+    """
+    from repro.obs.history import RunHistory
+
+    return RunHistory(root or os.environ.get("REPRO_HISTORY_DIR") or None)
+
+
+def record_bench_history(payload: dict, root: str = None):
+    """Append one throughput-bench payload to the run history.
+
+    Returns the recorded :class:`~repro.obs.history.HistoryEntry`; its
+    config key hashes the bench machine shape and the smoke flag, so
+    smoke and full runs keep separate trajectories.
+    """
+    from repro.obs.history import entry_from_bench
+
+    return bench_history(root).append(entry_from_bench(payload))
 
 
 def _sweep_spec(name: str) -> JobSpec:

@@ -61,6 +61,13 @@ INTENSITY = {"radix": 0.45, "fft": 0.25, "fmm": 1.0, "ocean": 0.2, "raytrace": 3
 #: on a pre-optimisation checkout.
 SEED_BASELINE = {"sweep_refs_per_sec": 30926.0, "timing_refs_per_sec": 65973.0}
 
+#: Ceiling on the enabled-tracing slowdown: streaming the full span/
+#: event JSONL may cost at most this factor over an untraced run.  A
+#: ratio of two CPU-time rates on the same host, so it is gated on
+#: every non-smoke run (no committed-baseline comparison needed);
+#: widened by REPRO_BENCH_OVERHEAD_TOL like the disabled gate.
+ENABLED_SLOWDOWN_LIMIT = 3.5
+
 #: Bank configurations swept per workload.  Each is a (label, sizes,
 #: orgs) grid; all five share one workload's recorded tap trace, which
 #: is exactly the redundancy record/replay removes.
@@ -225,6 +232,10 @@ def main(argv=None) -> int:
                         help="small grid (2 workloads, 2 bank configs) for CI smoke runs")
     parser.add_argument("--out", default=None,
                         help="output path (default: BENCH_throughput.json at the repo root)")
+    parser.add_argument("--history-dir", default=None,
+                        help="also append this run to the run-history store "
+                             "(default: $REPRO_HISTORY_DIR if set; "
+                             "see `repro history`)")
     args = parser.parse_args(argv)
 
     out = args.out or os.path.join(os.path.dirname(__file__), "..", "BENCH_throughput.json")
@@ -243,6 +254,16 @@ def main(argv=None) -> int:
     print(f"  disabled: {tracing['disabled_refs_per_sec']:>10.1f} refs/s")
     print(f"  enabled : {tracing['enabled_refs_per_sec']:>10.1f} refs/s "
           f"({tracing['enabled_slowdown']:.2f}x slowdown)")
+    if not args.smoke:
+        tolerance = float(os.environ.get("REPRO_BENCH_OVERHEAD_TOL", "0.02"))
+        limit = ENABLED_SLOWDOWN_LIMIT * (1 + tolerance)
+        print(f"  enabled-mode gate: {tracing['enabled_slowdown']:.2f}x "
+              f"<= {limit:.2f}x")
+        assert tracing["enabled_slowdown"] <= limit, (
+            f"enabled-tracing slowdown {tracing['enabled_slowdown']:.2f}x "
+            f"exceeds the {ENABLED_SLOWDOWN_LIMIT}x budget; "
+            f"set REPRO_BENCH_OVERHEAD_TOL to widen the gate"
+        )
     if not args.smoke and os.path.exists(out):
         # Gate: with no tracer attached, the instrumented hot paths must
         # stay within tolerance of the committed baseline's timing rate.
@@ -327,6 +348,14 @@ def main(argv=None) -> int:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
     print(f"wrote {os.path.abspath(out)}")
+
+    history_dir = args.history_dir or os.environ.get("REPRO_HISTORY_DIR")
+    if history_dir:
+        from repro.obs.history import RunHistory, entry_from_bench
+
+        entry = RunHistory(history_dir).append(entry_from_bench(payload))
+        print(f"history: recorded {entry.key} "
+              f"({len(entry.metrics)} metrics) -> {history_dir}")
     return 0
 
 

@@ -10,7 +10,21 @@
     python -m repro table4    [workloads...]
     python -m repro pressure  raytrace [--v2]
     python -m repro metrics   radix [--format openmetrics|json] [--trace-out t.jsonl]
+    python -m repro trace-profile t.jsonl [--metrics m.json]
+    python -m repro trace-validate t.jsonl
+    python -m repro history   list|record-bench|check [--history-dir DIR]
+    python -m repro status    [RUN_ID]
     python -m repro workloads
+
+The trace-analytics commands (``docs/observability.md``) consume
+recorded artifacts instead of running simulations: ``trace-profile``
+renders a span-tree profile and the Table-4-shaped cost attribution
+from a JSONL trace (``--metrics`` reconciles it exactly against the
+run's metrics export, exiting non-zero on any mismatch),
+``trace-validate`` checks a trace against the frozen schema,
+``history`` drives the append-only run-history store and its
+rolling-median regression detector, and ``status`` renders live
+per-job progress of a batch run from its manifest heartbeats.
 
 ``timing`` accepts ``--trace-out FILE`` to record the structured
 protocol-event trace (JSONL; see ``docs/observability.md``) and
@@ -151,6 +165,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", default=None, metavar="FILE",
                    help="write report telemetry (phase timers, runner "
                         "supervision counters) as a metrics file")
+    p.add_argument("--history-dir", default=None, metavar="DIR",
+                   help="append this report's wall time and per-phase "
+                        "throughput to the run-history store and render "
+                        "the regression check in the Telemetry section")
     p.add_argument("workloads", nargs="*", default=[])
     add_machine_options(p)
     add_runner_options(p)
@@ -195,6 +213,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheme", default="V-COMA", choices=[s.value for s in Scheme])
     p.add_argument("--entries", type=int, default=8)
     add_machine_options(p)
+
+    p = sub.add_parser(
+        "trace-profile",
+        help="span-tree profile + cost attribution of a recorded trace",
+    )
+    p.add_argument("trace_file")
+    p.add_argument("--metrics", default=None, metavar="FILE",
+                   help="JSON metrics export of the same run; the "
+                        "attribution is reconciled exactly against it "
+                        "(non-zero exit on any mismatch)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the profile/attribution as JSON")
+    p.add_argument("--no-tree", action="store_true",
+                   help="skip the span tree (attribution only)")
+
+    p = sub.add_parser(
+        "trace-validate",
+        help="check a recorded trace against the frozen schema",
+    )
+    p.add_argument("trace_file")
+
+    p = sub.add_parser(
+        "history",
+        help="run-history store: list keys, record a bench, check regressions",
+    )
+    p.add_argument("action", choices=["list", "record-bench", "check"])
+    p.add_argument("payload", nargs="?", default=None,
+                   help="BENCH_throughput.json payload (record-bench)")
+    p.add_argument("--history-dir", default=None,
+                   help="history store directory "
+                        "(default: the shared cache root)")
+    p.add_argument("--key", default=None,
+                   help="restrict check to one config key")
+    p.add_argument("--window", type=int, default=5,
+                   help="rolling-median baseline window")
+    p.add_argument("--tolerance", type=float, default=0.1,
+                   help="allowed fractional drift before flagging")
+
+    p = sub.add_parser(
+        "status",
+        help="live per-job status of a batch run from its manifest",
+    )
+    p.add_argument("run_id", nargs="?", default=None,
+                   help="run id (omit to list known runs)")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache root holding the run manifests")
 
     p = sub.add_parser("pressure", help="Figure 11 pressure profile")
     p.add_argument("workload", choices=sorted(WORKLOADS))
@@ -297,6 +361,195 @@ def _sweep_studies(params, names, args, runner, sizes=(8, 32, 128, 512)):
     )
 
 
+def _cmd_trace_profile(args, out) -> int:
+    """Span-tree profile and Table-4-shaped cost attribution of a trace."""
+    import json
+
+    from repro.obs import (
+        MetricsRegistry,
+        ReconciliationError,
+        attribute_costs,
+        profile_trace,
+        read_trace,
+    )
+
+    records = read_trace(args.trace_file)
+    profile = profile_trace(records)
+    attribution = attribute_costs(records)
+
+    checks = None
+    status = 0
+    if args.metrics:
+        with open(args.metrics, "r", encoding="utf-8") as handle:
+            registry = MetricsRegistry.from_dict(json.load(handle))
+        try:
+            checks = attribution.reconcile(registry, strict=True)
+        except ReconciliationError as exc:
+            checks = attribution.reconcile(registry, strict=False)
+            sys.stderr.write(f"reconciliation FAILED: {exc}\n")
+            status = 1
+
+    if args.json:
+        payload = {
+            "profile": profile.to_dict(),
+            "attribution": attribution.to_dict(),
+        }
+        if checks is not None:
+            payload["reconciliation"] = checks
+        out.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return status
+
+    if not args.no_tree:
+        out.write(profile.render() + "\n\n")
+    out.write(attribution.render() + "\n")
+    if checks is not None:
+        passed = sum(1 for c in checks if c["ok"])
+        out.write(f"\nreconciliation vs {args.metrics}: {passed}/{len(checks)} exact\n")
+        for c in checks:
+            mark = "ok  " if c["ok"] else "FAIL"
+            out.write(
+                f"  [{mark}] {c['check']}: "
+                f"trace={c['trace']} registry={c['registry']}\n"
+            )
+    return status
+
+
+def _cmd_trace_validate(args, out) -> int:
+    """Schema-check a recorded trace; non-zero exit on violations."""
+    from repro.obs import TraceSchemaError, read_trace, validate_trace
+
+    records = read_trace(args.trace_file)
+    try:
+        stats = validate_trace(records)
+    except TraceSchemaError as exc:
+        sys.stderr.write(f"{args.trace_file}: INVALID: {exc}\n")
+        return 1
+    summary = ", ".join(f"{name}={count}" for name, count in sorted(stats.items()))
+    out.write(f"{args.trace_file}: ok ({summary})\n")
+    return 0
+
+
+def _cmd_history(args, out) -> int:
+    """Drive the run-history store (see ``repro.obs.history``)."""
+    import json
+
+    from repro.obs.history import RunHistory, entry_from_bench
+
+    history = RunHistory(args.history_dir)
+
+    if args.action == "list":
+        keys = history.keys()
+        if not keys:
+            out.write(f"no history at {history.path}\n")
+            return 0
+        for key in keys:
+            entries = history.entries(key=key)
+            latest = entries[-1]
+            metrics = "  ".join(
+                f"{name}={value:g}" for name, value in sorted(latest.metrics.items())
+            )
+            out.write(
+                f"{key}  {latest.kind:<6} {len(entries):>4} entries  {metrics}\n"
+            )
+        return 0
+
+    if args.action == "record-bench":
+        if not args.payload:
+            raise SystemExit("history record-bench needs a bench JSON path")
+        with open(args.payload, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        entry = history.append(entry_from_bench(payload))
+        out.write(
+            f"recorded {entry.key} ({len(entry.metrics)} metrics) "
+            f"-> {history.path}\n"
+        )
+        return 0
+
+    # check: rolling-median regression detector over each key's trajectory
+    keys = [args.key] if args.key else history.keys()
+    if not keys:
+        out.write(f"no history at {history.path}\n")
+        return 0
+    failed = False
+    for key in keys:
+        for row in history.check(key, window=args.window, tolerance=args.tolerance):
+            verdict = "ok" if row["ok"] else "REGRESSION"
+            if row.get("baseline_median") is None:
+                detail = row.get("reason", "no baseline")
+            else:
+                detail = (
+                    f"latest={row['latest']:g} "
+                    f"median={row['baseline_median']:g} "
+                    f"ratio={row['ratio']} ({row['direction']} is better)"
+                )
+            out.write(f"{key}  {row['metric']:<32} {verdict:<10} {detail}\n")
+            failed = failed or not row["ok"]
+    return 1 if failed else 0
+
+
+def _cmd_status(args, out) -> int:
+    """Render one batch run's live status from its manifest heartbeats."""
+    from repro.runner import list_runs, read_status
+
+    root = Path(args.cache_dir) / "runs" if args.cache_dir else None
+
+    if not args.run_id:
+        runs = list_runs(root)
+        if not runs:
+            out.write("no runs recorded\n")
+            return 0
+        for run_id in runs:
+            view = read_status(run_id, root)
+            counts = view["counts"]
+            line = (
+                f"{run_id}  {counts['ok']} ok / {counts['failed']} failed / "
+                f"{counts['running']} running"
+            )
+            if view["pending"]:
+                line += f" / {view['pending']} pending"
+            out.write(line + "\n")
+        return 0
+
+    try:
+        view = read_status(args.run_id, root)
+    except FileNotFoundError:
+        raise SystemExit(f"unknown run id {args.run_id!r}")
+
+    counts = view["counts"]
+    done = counts["ok"] + counts["failed"]
+    out.write(f"run        : {view['run']}\n")
+    if view["version"]:
+        out.write(f"version    : {view['version']}\n")
+    if view["total"] is not None:
+        pct = 100.0 * done / view["total"] if view["total"] else 100.0
+        out.write(f"progress   : {done}/{view['total']} jobs ({pct:.0f}%)\n")
+    out.write(
+        f"jobs       : {counts['ok']} ok, {counts['failed']} failed, "
+        f"{counts['running']} running"
+        + (f", {view['pending']} pending" if view["pending"] is not None else "")
+        + "\n"
+    )
+    if view["workers"]:
+        out.write(f"workers    : {view['workers']}\n")
+    if view["avg_job_seconds"] is not None:
+        out.write(f"avg job    : {view['avg_job_seconds']:.1f}s\n")
+    if view["eta_seconds"] is not None:
+        out.write(f"eta        : {view['eta_seconds']:.0f}s remaining\n")
+    for job in view["jobs"].values():
+        state = job.get("state")
+        if state == "running":
+            detail = f"attempt {job.get('attempt', 1)}"
+            if job.get("worker") is not None:
+                detail += f", worker {job['worker']}"
+            out.write(f"  running: {job.get('label')} ({detail})\n")
+        elif state == "failed":
+            out.write(
+                f"  failed : {job.get('label')} "
+                f"({job.get('error')}, {job.get('attempts', 1)} attempts)\n"
+            )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     from repro.common.errors import RunInterrupted
 
@@ -321,6 +574,18 @@ def _dispatch(args, out) -> int:
             doc = (workload.__doc__ or "").strip().splitlines()[0]
             out.write(f"{name:10s} {doc}\n")
         return 0
+
+    if args.command == "trace-profile":
+        return _cmd_trace_profile(args, out)
+
+    if args.command == "trace-validate":
+        return _cmd_trace_validate(args, out)
+
+    if args.command == "history":
+        return _cmd_history(args, out)
+
+    if args.command == "status":
+        return _cmd_status(args, out)
 
     params = machine_params(args)
 
@@ -465,6 +730,7 @@ def _dispatch(args, out) -> int:
             include_figures=not args.no_figures,
             runner=runner,
             metrics_out=args.metrics_out,
+            history_dir=args.history_dir,
         )
         _print_grid_stats(runner)
         out.write(f"wrote {args.out} ({len(text.splitlines())} lines)\n")

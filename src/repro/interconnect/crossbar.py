@@ -85,10 +85,11 @@ class Crossbar:
         values = self._counter_values
         name, cycles, payload = self._kind_info[kind]
         values[name] = values.get(name, 0) + 1
-        if self.trace is not None:
-            self.trace.event("msg", now, msg=kind.value, src=src, dst=dst)
+        trace = self.trace
         if src == dst:
             values["msg_local"] = values.get("msg_local", 0) + 1
+            if trace is not None:
+                trace.event("msg", now, msg=kind.value, src=src, dst=dst, cycles=0)
             return now
         if self.topology is not None:
             extra_hops = self.topology.hops(src, dst) - 1
@@ -96,6 +97,10 @@ class Crossbar:
         values["msg_remote"] = values.get("msg_remote", 0) + 1
         values["network_cycles"] = values.get("network_cycles", 0) + cycles
         values["payload_bytes"] = values.get("payload_bytes", 0) + payload
+        if trace is not None:
+            # The charged latency rides on the event so a trace alone
+            # reconciles against the network_cycles counter.
+            trace.event("msg", now, msg=kind.value, src=src, dst=dst, cycles=cycles)
         if not self.contention:
             return now + cycles
         start = max(now, self._port_free_at[dst])

@@ -27,6 +27,20 @@ from repro.obs.metrics import (
     PhaseTimer,
 )
 from repro.obs.trace import Tracer, read_trace
+from repro.obs.profile import (
+    CostAttribution,
+    ReconciliationError,
+    TraceProfile,
+    attribute_costs,
+    profile_trace,
+)
+from repro.obs.history import (
+    HistoryEntry,
+    RunHistory,
+    detect_regression,
+    entry_from_bench,
+    entry_from_summary,
+)
 from repro.obs.schema import (
     TRACE_FORMAT_VERSION,
     TraceSchemaError,
@@ -41,14 +55,24 @@ from repro.obs.export import (
 )
 
 __all__ = [
+    "CostAttribution",
     "Counter",
     "Gauge",
+    "HistoryEntry",
     "Histogram",
     "MetricsRegistry",
     "PhaseTimer",
+    "ReconciliationError",
+    "RunHistory",
     "TRACE_FORMAT_VERSION",
+    "TraceProfile",
     "TraceSchemaError",
     "Tracer",
+    "attribute_costs",
+    "detect_regression",
+    "entry_from_bench",
+    "entry_from_summary",
+    "profile_trace",
     "read_trace",
     "registry_from_summary",
     "scheme_vocabulary",

@@ -1,0 +1,474 @@
+"""Trace analytics: span-tree profiler and translation cost attribution.
+
+Two consumers of a recorded JSONL trace (:func:`repro.obs.read_trace`):
+
+* :func:`profile_trace` aggregates the ``run``/``ref``/``protocol.*``
+  spans into a call-tree profile — one row per span *path*, with call
+  counts and inclusive/exclusive cycle totals, rendered flame-style.
+* :func:`attribute_costs` produces the paper's Table-4-shaped overhead
+  breakdown from the trace alone: cycles stalled in translation (TLB
+  miss handling or V-COMA DLB fills), in local memory, in remote
+  protocol transactions, and on the interconnect.
+
+Both are pure functions of the record list; neither needs the live
+machine.  The attribution reconciles **exactly** against the metrics
+registry exported for the same run (:func:`~repro.obs.export.registry_from_summary`):
+every category equals the corresponding breakdown component or merged
+counter, asserted by :meth:`CostAttribution.reconcile`.  The identities
+used:
+
+* ``ref`` spans carry ``cycles`` (total stall + translation) and
+  ``tlb`` (translation stall delta), so their sums equal the node time
+  breakdown's ``loc_stall + rem_stall + tlb_stall`` and ``tlb_stall``.
+* ``protocol.fetch``/``protocol.upgrade`` spans carry ``remote`` and
+  ``translation``; a remote transaction's ``(t1 - t0) - translation``
+  is exactly what the node attributed to ``rem_stall``.
+* ``msg`` events carry the charged latency, summing to the
+  ``network_cycles`` counter; fills equal translation misses; and
+  ``protocol.invalidate`` events equal the ``invalidations`` counter.
+
+Relaxed-writes runs hide store stalls from the breakdown (the node
+restores it and banks ``hidden_protocol_cycles`` instead); such ``ref``
+spans record ``cycles == 0`` and their protocol children are excluded
+from the category sums, keeping the identities exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.core.schemes import Scheme
+
+
+class ReconciliationError(AssertionError):
+    """A trace-derived total disagreed with the metrics registry."""
+
+
+# ----------------------------------------------------------------------
+# span-tree profile
+# ----------------------------------------------------------------------
+class ProfileNode:
+    """Aggregate of every span sharing one ancestry path of names."""
+
+    __slots__ = ("name", "path", "count", "inclusive", "exclusive", "events", "children")
+
+    def __init__(self, name: str, path: Tuple[str, ...]) -> None:
+        self.name = name
+        self.path = path
+        self.count = 0
+        self.inclusive = 0  # sum of (t1 - t0) over spans at this path
+        self.exclusive = 0  # inclusive minus direct children's inclusive
+        self.events: Dict[str, int] = {}  # point events under these spans
+        self.children: Dict[str, "ProfileNode"] = {}
+
+    @property
+    def mean(self) -> float:
+        return self.inclusive / self.count if self.count else 0.0
+
+    def sorted_children(self) -> List["ProfileNode"]:
+        return sorted(self.children.values(), key=lambda n: (-n.inclusive, n.name))
+
+    def to_dict(self) -> Dict:
+        out: Dict[str, object] = {
+            "name": self.name,
+            "count": self.count,
+            "inclusive_cycles": self.inclusive,
+            "exclusive_cycles": self.exclusive,
+        }
+        if self.events:
+            out["events"] = dict(sorted(self.events.items()))
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.sorted_children()]
+        return out
+
+
+class TraceProfile:
+    """A call-tree profile over one recorded trace."""
+
+    def __init__(self, meta: Dict, roots: List[ProfileNode], events: Dict[str, int]) -> None:
+        self.meta = meta
+        self.roots = roots
+        self.events = events  # global per-name event counts
+        self.span_count = sum(self._count(r) for r in roots)
+
+    @staticmethod
+    def _count(node: ProfileNode) -> int:
+        return node.count + sum(TraceProfile._count(c) for c in node.children.values())
+
+    def to_dict(self) -> Dict:
+        """Deterministic JSON form (the golden-snapshot shape)."""
+        return {
+            "scheme": self.meta.get("scheme"),
+            "workload": self.meta.get("workload"),
+            "nodes": self.meta.get("nodes"),
+            "span_count": self.span_count,
+            "event_counts": dict(sorted(self.events.items())),
+            "tree": [r.to_dict() for r in sorted(self.roots, key=lambda n: (-n.inclusive, n.name))],
+        }
+
+    def render(self) -> str:
+        """Flame-style text tree, heaviest subtree first.
+
+        Cycle totals aggregate *work* across nodes: siblings that ran in
+        parallel on different nodes sum, so a parent whose children
+        overlap (the ``run`` span over per-node ``ref`` streams) can
+        show negative exclusive time.
+        """
+        header = (
+            f"{'span':<40} {'count':>9} {'inclusive':>14} "
+            f"{'exclusive':>14} {'avg':>10}"
+        )
+        lines = [header, "-" * len(header)]
+
+        def walk(node: ProfileNode, depth: int) -> None:
+            label = "  " * depth + node.name
+            lines.append(
+                f"{label:<40} {node.count:>9,} {node.inclusive:>14,} "
+                f"{node.exclusive:>14,} {node.mean:>10,.1f}"
+            )
+            for name, count in sorted(node.events.items()):
+                lines.append(f"{'  ' * (depth + 1) + '· ' + name:<40} {count:>9,}")
+            for child in node.sorted_children():
+                walk(child, depth + 1)
+
+        for root in sorted(self.roots, key=lambda n: (-n.inclusive, n.name)):
+            walk(root, 0)
+        return "\n".join(lines)
+
+
+def profile_trace(records: Iterable[Dict]) -> TraceProfile:
+    """Aggregate a parsed trace into a :class:`TraceProfile`.
+
+    Spans sharing the same ancestry path of names fold into one
+    :class:`ProfileNode`; events fold into their enclosing span's node
+    (and a global per-name tally).
+    """
+    records = list(records)
+    if not records or records[0].get("kind") != "meta":
+        raise ConfigurationError("trace has no meta header (is this a trace file?)")
+    meta = records[0]
+
+    spans: Dict[int, Dict] = {}
+    children: Dict[Optional[int], List[Dict]] = {}
+    events: List[Dict] = []
+    for record in records[1:]:
+        kind = record.get("kind")
+        if kind == "span":
+            spans[record["id"]] = record
+            children.setdefault(record.get("parent"), []).append(record)
+        elif kind == "event":
+            events.append(record)
+
+    roots: Dict[str, ProfileNode] = {}
+    node_of_span: Dict[int, ProfileNode] = {}
+
+    def visit(span: Dict, parent_node: Optional[ProfileNode]) -> None:
+        name = span["name"]
+        if parent_node is None:
+            node = roots.get(name)
+            if node is None:
+                node = roots[name] = ProfileNode(name, (name,))
+        else:
+            node = parent_node.children.get(name)
+            if node is None:
+                node = parent_node.children[name] = ProfileNode(
+                    name, parent_node.path + (name,)
+                )
+        duration = span["t1"] - span["t0"]
+        node.count += 1
+        node.inclusive += duration
+        node.exclusive += duration
+        if parent_node is not None:
+            parent_node.exclusive -= duration
+        node_of_span[span["id"]] = node
+        for child in children.get(span["id"], ()):
+            visit(child, node)
+
+    # Spans are emitted at end time (children precede parents), so the
+    # traversal starts from the parent index, not stream order.
+    for root_span in children.get(None, ()):
+        visit(root_span, None)
+
+    event_counts: Dict[str, int] = {}
+    for event in events:
+        name = event["name"]
+        event_counts[name] = event_counts.get(name, 0) + 1
+        owner = node_of_span.get(event.get("span"))
+        if owner is not None:
+            owner.events[name] = owner.events.get(name, 0) + 1
+
+    return TraceProfile(meta, list(roots.values()), event_counts)
+
+
+# ----------------------------------------------------------------------
+# translation cost attribution (paper Table 4 shape)
+# ----------------------------------------------------------------------
+class CostAttribution:
+    """Per-category stall-cycle totals derived from one trace.
+
+    ``categories`` carries the paper's overhead decomposition:
+    ``translation`` (TLB miss handling / DLB fills), ``local_memory``,
+    ``remote_memory`` (protocol transactions beyond the local AM), and
+    their sum ``stall_total``.  ``interconnect_cycles`` is the network
+    share charged *inside* those transactions (it overlaps the memory
+    categories rather than adding to them).
+    """
+
+    def __init__(
+        self,
+        meta: Dict,
+        categories: Dict[str, int],
+        interconnect_cycles: int,
+        hidden_protocol_cycles: int,
+        run_cycles: Optional[int],
+        counts: Dict[str, int],
+    ) -> None:
+        self.meta = meta
+        self.scheme = str(meta.get("scheme"))
+        self.workload = meta.get("workload")
+        self.nodes = meta.get("nodes")
+        self.translation_kind = (
+            "dlb" if self.scheme == Scheme.V_COMA.value else "tlb"
+        )
+        self.categories = categories
+        self.interconnect_cycles = interconnect_cycles
+        self.hidden_protocol_cycles = hidden_protocol_cycles
+        self.run_cycles = run_cycles
+        self.counts = counts
+
+    def to_dict(self) -> Dict:
+        return {
+            "scheme": self.scheme,
+            "workload": self.workload,
+            "nodes": self.nodes,
+            "translation_kind": self.translation_kind,
+            "run_cycles": self.run_cycles,
+            "categories": dict(sorted(self.categories.items())),
+            "interconnect_cycles": self.interconnect_cycles,
+            "hidden_protocol_cycles": self.hidden_protocol_cycles,
+            "counts": dict(sorted(self.counts.items())),
+        }
+
+    def render(self) -> str:
+        """The Table-4-style overhead breakdown as text."""
+        total = self.categories["stall_total"] or 1
+        kind = self.translation_kind
+        rows = [
+            (f"translation ({kind} miss handling)", self.categories["translation"]),
+            ("local memory (AM + SLC fills)", self.categories["local_memory"]),
+            ("remote memory (protocol transactions)", self.categories["remote_memory"]),
+        ]
+        title = f"cost attribution — {self.scheme}"
+        if self.workload:
+            title += f" / {self.workload}"
+        if self.nodes:
+            title += f" ({self.nodes} nodes)"
+        lines = [title, f"{'category':<40} {'cycles':>14} {'% of stall':>11}"]
+        lines.append("-" * len(lines[-1]))
+        for label, cycles in rows:
+            lines.append(f"{label:<40} {cycles:>14,} {100.0 * cycles / total:>10.1f}%")
+        lines.append(f"{'total stall':<40} {self.categories['stall_total']:>14,}")
+        lines.append(
+            f"{'interconnect (within transactions)':<40} "
+            f"{self.interconnect_cycles:>14,}"
+        )
+        if self.hidden_protocol_cycles:
+            lines.append(
+                f"{'hidden stores (protocol share)':<40} "
+                f"{self.hidden_protocol_cycles:>14,}"
+            )
+        counts = self.counts
+        lines.append("")
+        lines.append(
+            f"{counts['refs']:,} refs, {counts['protocol_transactions']:,} protocol "
+            f"transactions ({counts['remote_transactions']:,} remote), "
+            f"{counts['translation_fills']:,} {kind} fills / "
+            f"{counts['translation_accesses']:,} accesses, "
+            f"{counts['messages']:,} messages, "
+            f"{counts['invalidations']:,} invalidations"
+        )
+        return "\n".join(lines)
+
+    # -- registry reconciliation ---------------------------------------
+    def reconcile(self, registry, strict: bool = True) -> List[Dict]:
+        """Check every category against the metrics registry for the
+        same run (:func:`~repro.obs.export.registry_from_summary` form).
+
+        Returns one ``{"check", "trace", "registry", "ok"}`` row per
+        identity; with ``strict`` (the default) any mismatch raises
+        :class:`ReconciliationError`.  Checks whose family is absent
+        from the registry (e.g. ``repro_translation_*`` for a run with
+        no timing agent) are skipped.
+        """
+        checks: List[Dict] = []
+
+        def check(name: str, trace_value, registry_value) -> None:
+            checks.append(
+                {
+                    "check": name,
+                    "trace": trace_value,
+                    "registry": registry_value,
+                    "ok": trace_value == registry_value,
+                }
+            )
+
+        def component_total(component: str):
+            return _sum_counter(
+                registry, "repro_node_time_cycles_total", component=component
+            )
+
+        check("translation cycles == tlb_stall", self.categories["translation"],
+              component_total("tlb_stall"))
+        check("remote memory cycles == rem_stall", self.categories["remote_memory"],
+              component_total("rem_stall"))
+        check("local memory cycles == loc_stall", self.categories["local_memory"],
+              component_total("loc_stall"))
+        check(
+            "stall total == loc+rem+tlb",
+            self.categories["stall_total"],
+            component_total("loc_stall")
+            + component_total("rem_stall")
+            + component_total("tlb_stall"),
+        )
+        check("interconnect cycles == network_cycles",
+              self.interconnect_cycles,
+              _sum_counter(registry, "repro_events_total", event="network_cycles"))
+        check(
+            "messages == msg_local + msg_remote",
+            self.counts["messages"],
+            _sum_counter(registry, "repro_events_total", event="msg_local")
+            + _sum_counter(registry, "repro_events_total", event="msg_remote"),
+        )
+        check("remote messages == msg_remote", self.counts["messages_remote"],
+              _sum_counter(registry, "repro_events_total", event="msg_remote"))
+        check("invalidations == invalidations counter",
+              self.counts["invalidations"],
+              _sum_counter(registry, "repro_events_total", event="invalidations"))
+        check("injections == injections counter",
+              self.counts["injections"],
+              _sum_counter(registry, "repro_events_total", event="injections"))
+        if "repro_translation_accesses_total" in registry:
+            check("translation accesses == hits + fills",
+                  self.counts["translation_accesses"],
+                  _sum_counter(registry, "repro_translation_accesses_total"))
+            check("translation misses == fills",
+                  self.counts["translation_fills"],
+                  _sum_counter(registry, "repro_translation_misses_total"))
+        if self.run_cycles is not None and "repro_run_time_cycles" in registry:
+            check("run cycles == repro_run_time_cycles",
+                  self.run_cycles, registry.get("repro_run_time_cycles").value())
+        check("refs == repro_node_refs_total", self.counts["refs"],
+              _sum_counter(registry, "repro_node_refs_total"))
+
+        if strict:
+            bad = [c for c in checks if not c["ok"]]
+            if bad:
+                detail = "; ".join(
+                    f"{c['check']}: trace={c['trace']} registry={c['registry']}"
+                    for c in bad
+                )
+                raise ReconciliationError(
+                    f"{len(bad)}/{len(checks)} attribution checks failed: {detail}"
+                )
+        return checks
+
+
+def _sum_counter(registry, family: str, **match: object) -> int:
+    """Sum a counter family's samples whose labels match ``match``."""
+    metric = registry.get(family)
+    if metric is None:
+        return 0
+    wanted = [(str(k), str(v)) for k, v in match.items()]
+    total = 0
+    for key, value in metric.samples():
+        labels = dict(key)
+        if all(labels.get(k) == v for k, v in wanted):
+            total += value
+    return int(total)
+
+
+def attribute_costs(records: Iterable[Dict]) -> CostAttribution:
+    """Derive the per-category stall-cycle breakdown from one trace."""
+    records = list(records)
+    if not records or records[0].get("kind") != "meta":
+        raise ConfigurationError("trace has no meta header (is this a trace file?)")
+    meta = records[0]
+
+    translation = stall_total = remote = 0
+    hidden_cycles = 0
+    interconnect = 0
+    run_cycles: Optional[int] = None
+    hidden_refs = set()  # span ids of relaxed-write refs (cycles hidden)
+    counts = {
+        "refs": 0,
+        "reads": 0,
+        "writes": 0,
+        "protocol_transactions": 0,
+        "remote_transactions": 0,
+        "translation_hits": 0,
+        "translation_fills": 0,
+        "invalidations": 0,
+        "injections": 0,
+        "messages": 0,
+        "messages_remote": 0,
+    }
+
+    protocol_spans: List[Dict] = []
+    for record in records[1:]:
+        kind = record.get("kind")
+        if kind == "span":
+            name = record["name"]
+            if name == "ref":
+                counts["refs"] += 1
+                counts["reads" if record.get("op") == "read" else "writes"] += 1
+                cycles = record.get("cycles", record["t1"] - record["t0"])
+                if record.get("op") == "write" and cycles == 0:
+                    # Relaxed write: the node restored the breakdown, so
+                    # nothing below this ref reached any stall category.
+                    hidden_refs.add(record["id"])
+                    continue
+                stall_total += cycles
+                translation += record.get("tlb", 0)
+            elif name in ("protocol.fetch", "protocol.upgrade"):
+                protocol_spans.append(record)
+            elif name == "run":
+                run_cycles = record["t1"] - record["t0"]
+        elif kind == "event":
+            name = record["name"]
+            if name == "msg":
+                counts["messages"] += 1
+                cycles = record.get("cycles", 0)
+                interconnect += cycles
+                if cycles:
+                    counts["messages_remote"] += 1
+            elif name in ("dlb_fill", "tlb_fill"):
+                counts["translation_fills"] += 1
+            elif name in ("dlb_hit", "tlb_hit"):
+                counts["translation_hits"] += 1
+            elif name == "protocol.invalidate":
+                counts["invalidations"] += 1
+            elif name == "protocol.inject":
+                counts["injections"] += 1
+
+    for span in protocol_spans:
+        counts["protocol_transactions"] += 1
+        if span.get("parent") in hidden_refs:
+            hidden_cycles += span["t1"] - span["t0"]
+            continue
+        if span.get("remote"):
+            counts["remote_transactions"] += 1
+            remote += (span["t1"] - span["t0"]) - span.get("translation", 0)
+
+    counts["translation_accesses"] = (
+        counts["translation_hits"] + counts["translation_fills"]
+    )
+    categories = {
+        "translation": translation,
+        "remote_memory": remote,
+        "local_memory": stall_total - translation - remote,
+        "stall_total": stall_total,
+    }
+    return CostAttribution(
+        meta, categories, interconnect, hidden_cycles, run_cycles, counts
+    )

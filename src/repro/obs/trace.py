@@ -28,6 +28,7 @@ from __future__ import annotations
 import json
 from collections import deque
 from contextlib import contextmanager
+from sys import intern as _intern
 from typing import Dict, Iterator, List, Optional
 
 from repro.common.errors import ConfigurationError
@@ -36,9 +37,47 @@ from repro.obs.schema import TRACE_FORMAT_VERSION
 #: Default ring-buffer capacity (records, not bytes).
 DEFAULT_BUFFER_SIZE = 65536
 
+#: Encoded records accumulated before a single batched file write.
+FLUSH_BATCH = 512
+
+# Fallback for values the fast path below doesn't handle inline.
+_json_encode = json.JSONEncoder(
+    sort_keys=True, separators=(",", ":"), check_circular=False
+).encode
+
+
+def _encode(record: Dict) -> str:
+    """Serialize one flat trace record to compact JSON.
+
+    Trace records are single-level dicts of scalars by construction,
+    which lets this skip :class:`json.JSONEncoder`'s generic machinery
+    (~2x on the enabled-tracing hot path).  Keys follow insertion
+    order, which is deterministic because every record shape is built
+    by exactly one code path; strings needing escapes and non-scalar
+    values fall back to the stdlib encoder.
+    """
+    parts = []
+    append = parts.append
+    for key, value in record.items():
+        tv = type(value)
+        if tv is int:
+            append(f'"{key}":{value}')
+        elif tv is str:
+            if '"' not in value and "\\" not in value and value.isprintable():
+                append(f'"{key}":"{value}"')
+            else:
+                append(f'"{key}":{_json_encode(value)}')
+        elif value is None:
+            append(f'"{key}":null')
+        elif tv is bool:
+            append(f'"{key}":true' if value else f'"{key}":false')
+        else:
+            append(f'"{key}":{_json_encode(value)}')
+    return "{" + ",".join(parts) + "}"
+
 
 def _compact(record: Dict) -> str:
-    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return _encode(record)
 
 
 class Tracer:
@@ -48,8 +87,10 @@ class Tracer:
     ----------
     path:
         Optional JSONL output path.  When given, every record (meta
-        header included) is streamed to the file as it is emitted; the
-        ring buffer is maintained either way.
+        header included) is streamed to the file; encoded lines are
+        batched ``FLUSH_BATCH`` at a time to keep the per-record cost
+        off the hot path (``flush()``/``close()`` drain the batch).
+        The ring buffer is maintained either way.
     buffer_size:
         Ring-buffer capacity in records.  When full, the oldest
         records are dropped from memory (the file, if any, keeps
@@ -64,13 +105,15 @@ class Tracer:
         if buffer_size <= 0:
             raise ConfigurationError("buffer_size must be positive")
         self._path = str(path) if path is not None else None
-        self._file = open(self._path, "w", encoding="utf-8") if self._path else None
+        self._file = _open_trace(self._path, "wt") if self._path else None
         self.records: deque = deque(maxlen=buffer_size)
+        self._maxlen = buffer_size
         self._stack: List[Dict] = []
         self._next_id = 1
         self._last_time = 0
         self._meta: Optional[Dict] = None
         self.dropped = 0  # records evicted from the ring buffer
+        self._pending: List[str] = []  # encoded lines awaiting a batched write
 
     # -- lifecycle -----------------------------------------------------
     def set_meta(self, scheme: str, nodes: int, **extra: object) -> None:
@@ -93,6 +136,9 @@ class Tracer:
 
     def flush(self) -> None:
         if self._file is not None:
+            if self._pending:
+                self._file.write("".join(self._pending))
+                self._pending.clear()
             self._file.flush()
 
     def close(self) -> None:
@@ -101,6 +147,9 @@ class Tracer:
         while self._stack:
             self.end(self._last_time, truncated=True)
         if self._file is not None:
+            if self._pending:
+                self._file.write("".join(self._pending))
+                self._pending.clear()
             self._file.close()
             self._file = None
 
@@ -130,35 +179,38 @@ class Tracer:
     ) -> int:
         """Open a span; returns its id.  The parent is the innermost
         span already open."""
+        t = int(t)
         span_id = self._next_id
-        self._next_id += 1
+        self._next_id = span_id + 1
+        stack = self._stack
         record: Dict = {
             "kind": "span",
             "id": span_id,
-            "parent": self.current_span_id,
-            "name": name,
-            "t0": int(t),
+            "parent": stack[-1]["id"] if stack else None,
+            "name": _intern(name),
+            "t0": t,
             "t1": None,
         }
         if node is not None:
             record["node"] = int(node)
         if attrs:
             record.update(attrs)
-        self._stack.append(record)
+        stack.append(record)
         if t > self._last_time:
-            self._last_time = int(t)
+            self._last_time = t
         return span_id
 
     def end(self, t: int, **attrs: object) -> Dict:
         """Close the innermost span and emit its record."""
         if not self._stack:
             raise ConfigurationError("Tracer.end() with no open span")
+        t = int(t)
         record = self._stack.pop()
-        record["t1"] = int(t)
+        record["t1"] = t
         if attrs:
             record.update(attrs)
         if t > self._last_time:
-            self._last_time = int(t)
+            self._last_time = t
         self._emit(record)
         return record
 
@@ -166,18 +218,20 @@ class Tracer:
         self, name: str, t: int, node: Optional[int] = None, **attrs: object
     ) -> None:
         """Record a point event under the innermost open span."""
+        t = int(t)
+        stack = self._stack
         record: Dict = {
             "kind": "event",
-            "span": self.current_span_id,
-            "name": name,
-            "t": int(t),
+            "span": stack[-1]["id"] if stack else None,
+            "name": _intern(name),
+            "t": t,
         }
         if node is not None:
             record["node"] = int(node)
         if attrs:
             record.update(attrs)
         if t > self._last_time:
-            self._last_time = int(t)
+            self._last_time = t
         self._emit(record)
 
     @contextmanager
@@ -197,11 +251,16 @@ class Tracer:
 
     # -- internals -----------------------------------------------------
     def _emit(self, record: Dict) -> None:
-        if len(self.records) == self.records.maxlen:
+        records = self.records
+        if len(records) == self._maxlen:
             self.dropped += 1
-        self.records.append(record)
+        records.append(record)
         if self._file is not None:
-            self._file.write(_compact(record) + "\n")
+            pending = self._pending
+            pending.append(_encode(record) + "\n")
+            if len(pending) >= FLUSH_BATCH:
+                self._file.write("".join(pending))
+                pending.clear()
 
     def counts(self) -> Dict[str, int]:
         """Per-name record counts currently in the ring buffer."""
@@ -221,10 +280,20 @@ class Tracer:
         )
 
 
+def _open_trace(path: str, mode: str):
+    """Open a trace path for text I/O, transparently gzipped for
+    ``.gz`` paths (committed golden traces are stored compressed)."""
+    if str(path).endswith(".gz"):
+        import gzip
+
+        return gzip.open(path, mode, encoding="utf-8")
+    return open(path, mode.replace("t", ""), encoding="utf-8")
+
+
 def read_trace(path: str) -> List[Dict]:
-    """Parse a JSONL trace file back into a list of records."""
+    """Parse a JSONL trace file (optionally ``.gz``) back into records."""
     records: List[Dict] = []
-    with open(path, "r", encoding="utf-8") as handle:
+    with _open_trace(path, "rt") as handle:
         for line_no, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:

@@ -47,7 +47,12 @@ from repro.runner.batch import BatchRunner, JobFailure, JobResult
 from repro.runner.cache import ResultCache, default_cache_dir
 from repro.runner.faults import Fault, FaultPlan
 from repro.runner.jobs import JobSpec
-from repro.runner.manifest import RunManifest, default_manifest_dir, list_runs
+from repro.runner.manifest import (
+    RunManifest,
+    default_manifest_dir,
+    list_runs,
+    read_status,
+)
 from repro.runner.summary import GridStats, RunSummary
 from repro.runner.traces import TraceStore, default_trace_dir
 
@@ -67,4 +72,5 @@ __all__ = [
     "default_manifest_dir",
     "default_trace_dir",
     "list_runs",
+    "read_status",
 ]

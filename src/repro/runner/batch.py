@@ -431,6 +431,14 @@ class BatchRunner:
                 manifest.record_success(spec, summary, elapsed=elapsed)
             land(index, JobResult(spec, summary, elapsed=elapsed, attempts=attempts))
 
+        def heartbeat(spec: JobSpec, attempt: int,
+                      worker: Optional[int] = None) -> None:
+            if manifest is not None:
+                manifest.record_heartbeat(
+                    spec, attempt=attempt, worker=worker,
+                    workers=self.effective_jobs,
+                )
+
         def fail(index: int, failure: JobFailure,
                  cause: Optional[BaseException] = None) -> None:
             spec = specs[index]
@@ -484,10 +492,10 @@ class BatchRunner:
             self.effective_jobs = max(1, workers)
             if pending:
                 if workers > 1 and _fork_available():
-                    self._run_supervised(pending, workers, record, fail)
+                    self._run_supervised(pending, workers, record, fail, heartbeat)
                 else:
                     self.effective_jobs = 1
-                    self._run_serial(pending, record, fail)
+                    self._run_serial(pending, record, fail, heartbeat)
         except KeyboardInterrupt:
             raise RunInterrupted(self.run_id, completed=done, total=total) from None
         finally:
@@ -501,10 +509,11 @@ class BatchRunner:
     # ------------------------------------------------------------------
     # in-process execution (jobs=1 or no fork)
     # ------------------------------------------------------------------
-    def _run_serial(self, pending, record, fail) -> None:
+    def _run_serial(self, pending, record, fail, heartbeat) -> None:
         for index, spec in pending:
             attempt = 1
             while True:
+                heartbeat(spec, attempt)
                 started = time.perf_counter()
                 try:
                     if self.fault_plan is not None:
@@ -542,7 +551,7 @@ class BatchRunner:
     # ------------------------------------------------------------------
     # supervised worker-pool execution
     # ------------------------------------------------------------------
-    def _run_supervised(self, pending, workers: int, record, fail) -> None:
+    def _run_supervised(self, pending, workers: int, record, fail, heartbeat) -> None:
         ctx = multiprocessing.get_context("fork")
         worker_args = (self.trace_store, self.replay, self.fault_plan)
         queue = deque((index, spec, 1) for index, spec in pending)
@@ -555,9 +564,10 @@ class BatchRunner:
                 while delayed and delayed[0][0] <= now:
                     _, index, attempt, spec = heapq.heappop(delayed)
                     queue.append((index, spec, attempt))
-                for slot in slots:
+                for slot_index, slot in enumerate(slots):
                     if not slot.busy and queue:
                         index, spec, attempt = queue.popleft()
+                        heartbeat(spec, attempt, worker=slot_index)
                         slot.dispatch(index, spec, attempt, self.timeout)
 
                 busy = [slot for slot in slots if slot.busy]

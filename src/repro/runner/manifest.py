@@ -104,6 +104,8 @@ class RunManifest:
                 except ValueError:
                     # Torn final line from a hard kill mid-append.
                     continue
+                if "heartbeat" in entry:
+                    continue  # liveness marker, not a landed job
                 digest = entry.get("hash")
                 if not digest:
                     continue  # header (or foreign) line
@@ -131,6 +133,33 @@ class RunManifest:
                 "summary": summary.to_dict(),
             }
         )
+
+    def record_heartbeat(
+        self,
+        spec,
+        attempt: int = 1,
+        worker: Optional[int] = None,
+        workers: Optional[int] = None,
+    ) -> None:
+        """Mark a job dispatched (or re-dispatched after a retry).
+
+        Heartbeats are liveness markers for ``repro status``: they
+        carry a wall-clock stamp, the attempt number, and the worker
+        slot.  :meth:`load` skips them — they are not landed results
+        and never affect resumption.
+        """
+        entry = {
+            "heartbeat": "dispatch",
+            "hash": spec.content_hash(),
+            "label": spec.describe(),
+            "attempt": int(attempt),
+            "at": round(time.time(), 3),
+        }
+        if worker is not None:
+            entry["worker"] = int(worker)
+        if workers is not None:
+            entry["workers"] = int(workers)
+        self._append(entry)
 
     def record_failure(self, spec, failure) -> None:
         self._append(
@@ -167,3 +196,86 @@ class RunManifest:
 
     def __repr__(self) -> str:
         return f"RunManifest({self.run_id}, completed={len(self.completed)})"
+
+
+def read_status(run_id: str, root: Optional[os.PathLike] = None) -> Dict:
+    """Aggregate one manifest into a live status view (read-only).
+
+    Replays header, heartbeat, success, and failure lines into a
+    per-job state table: a job is ``running`` once a heartbeat lands
+    and until a success/failure line supersedes it.  Also derives the
+    counts, the average job duration, and a remaining-work ETA
+    (``(pending + running) * avg / workers``) the ``repro status``
+    subcommand renders.  Raises ``FileNotFoundError`` for unknown ids.
+    """
+    root = Path(root) if root is not None else default_manifest_dir()
+    path = root / f"{run_id}.jsonl"
+    header: Dict = {}
+    jobs: Dict[str, Dict] = {}
+    workers: Optional[int] = None
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn final line
+            if "manifest" in entry or "resumed" in entry:
+                for field in ("total", "version"):
+                    if field in entry:
+                        header[field] = entry[field]
+                continue
+            digest = entry.get("hash")
+            if not digest:
+                continue
+            job = jobs.setdefault(digest, {"label": entry.get("label")})
+            if "heartbeat" in entry:
+                job.update(
+                    state="running",
+                    attempt=entry.get("attempt", 1),
+                    since=entry.get("at"),
+                )
+                if entry.get("worker") is not None:
+                    job["worker"] = entry["worker"]
+                if entry.get("workers"):
+                    workers = entry["workers"]
+            elif entry.get("status") == "ok":
+                job.pop("since", None)
+                job.update(state="ok", elapsed=entry.get("elapsed", 0.0))
+            else:
+                job.pop("since", None)
+                job.update(
+                    state="failed",
+                    error=entry.get("error_type"),
+                    attempts=entry.get("attempts", job.get("attempt", 1)),
+                )
+
+    counts = {"ok": 0, "failed": 0, "running": 0}
+    for job in jobs.values():
+        counts[job.get("state", "running")] += 1
+    total = header.get("total")
+    pending = max(0, total - len(jobs)) if total is not None else None
+
+    durations = [
+        job["elapsed"]
+        for job in jobs.values()
+        if job.get("state") == "ok" and job.get("elapsed", 0.0) > 0.0
+    ]
+    avg = sum(durations) / len(durations) if durations else None
+    eta = None
+    if avg is not None and pending is not None:
+        remaining = pending + counts["running"]
+        eta = remaining * avg / max(1, workers or 1)
+    return {
+        "run": run_id,
+        "total": total,
+        "version": header.get("version"),
+        "jobs": jobs,
+        "counts": counts,
+        "pending": pending,
+        "workers": workers,
+        "avg_job_seconds": avg,
+        "eta_seconds": eta,
+    }

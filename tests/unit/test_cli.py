@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, machine_params, main
@@ -203,3 +205,196 @@ class TestObservabilityCommands:
         data = json.loads(metrics_file.read_text())
         assert "repro_runner_jobs_total" in data
         assert "repro_phase_seconds" in data
+
+
+class TestTraceAnalyticsCommands:
+    @pytest.fixture()
+    def recorded_run(self, capsys, tmp_path):
+        """One tiny traced run: (trace path, metrics-JSON path)."""
+        trace_file = tmp_path / "run.jsonl"
+        metrics_file = tmp_path / "run.json"
+        code, _ = run_cli(
+            capsys, "metrics", "radix", "--intensity", "0.2",
+            "--format", "json", "--out", str(metrics_file),
+            "--trace-out", str(trace_file), *FAST
+        )
+        assert code == 0
+        return trace_file, metrics_file
+
+    def test_trace_validate_ok(self, capsys, recorded_run):
+        trace_file, _ = recorded_run
+        code, out = run_cli(capsys, "trace-validate", str(trace_file))
+        assert code == 0
+        assert "ok" in out and "spans=" in out
+
+    def test_trace_validate_rejects_foreign_vocabulary(self, capsys, recorded_run):
+        trace_file, _ = recorded_run
+        with open(trace_file, "a") as handle:
+            handle.write('{"kind": "event", "name": "tlb_hit", "t": 1, '
+                         '"span": null, "node": 0}\n')
+        code = main(["trace-validate", str(trace_file)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "INVALID" in captured.err
+
+    def test_trace_profile_renders_attribution(self, capsys, recorded_run):
+        trace_file, _ = recorded_run
+        code, out = run_cli(capsys, "trace-profile", str(trace_file))
+        assert code == 0
+        assert "cost attribution" in out
+        assert "translation (dlb miss handling)" in out
+        assert "run" in out  # span tree root
+
+    def test_trace_profile_reconciles_exactly(self, capsys, recorded_run):
+        trace_file, metrics_file = recorded_run
+        code, out = run_cli(
+            capsys, "trace-profile", str(trace_file),
+            "--metrics", str(metrics_file), "--no-tree",
+        )
+        assert code == 0
+        assert "FAIL" not in out
+        assert "reconciliation" in out
+
+    def test_trace_profile_flags_mismatched_metrics(self, capsys, recorded_run, tmp_path):
+        trace_file, metrics_file = recorded_run
+        data = json.loads(metrics_file.read_text())
+        for sample in data["repro_node_refs_total"]["samples"]:
+            sample["value"] += 1
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(data))
+        code = main([
+            "trace-profile", str(trace_file), "--metrics", str(bad), "--no-tree",
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FAIL" in captured.out
+        assert "reconciliation FAILED" in captured.err
+
+    def test_trace_profile_json_output(self, capsys, recorded_run):
+        trace_file, metrics_file = recorded_run
+        code, out = run_cli(
+            capsys, "trace-profile", str(trace_file),
+            "--metrics", str(metrics_file), "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["attribution"]["categories"]["stall_total"] > 0
+        assert all(row["ok"] for row in payload["reconciliation"])
+        assert payload["profile"]["tree"][0]["name"] == "run"
+
+
+class TestHistoryCommand:
+    def bench_payload(self, rate=70000.0):
+        return {
+            "version": "1.4.0",
+            "smoke": False,
+            "cpu_count": 2,
+            "params": {"nodes": 8, "page_size": 512},
+            "serial": {"timing": {"refs_per_sec": rate}},
+            "tracing": {"enabled_slowdown": 3.0,
+                        "disabled_refs_per_sec": rate * 1.1},
+        }
+
+    def record(self, capsys, tmp_path, rate):
+        payload_file = tmp_path / "bench.json"
+        payload_file.write_text(json.dumps(self.bench_payload(rate)))
+        return run_cli(
+            capsys, "history", "record-bench", str(payload_file),
+            "--history-dir", str(tmp_path / "hist"),
+        )
+
+    def test_record_then_list(self, capsys, tmp_path):
+        code, out = self.record(capsys, tmp_path, 70000.0)
+        assert code == 0 and "recorded" in out
+        code, out = run_cli(
+            capsys, "history", "list", "--history-dir", str(tmp_path / "hist")
+        )
+        assert code == 0
+        assert "timing_refs_per_sec=70000" in out
+
+    def test_check_passes_on_stable_trajectory(self, capsys, tmp_path):
+        for rate in (70000.0, 70500.0, 69800.0):
+            self.record(capsys, tmp_path, rate)
+        code, out = run_cli(
+            capsys, "history", "check", "--history-dir", str(tmp_path / "hist")
+        )
+        assert code == 0
+        assert "REGRESSION" not in out
+
+    def test_check_flags_injected_drop(self, capsys, tmp_path):
+        """The acceptance scenario: a 20% refs/sec drop exits non-zero."""
+        for rate in (70000.0, 70500.0, 69800.0, 70200.0):
+            self.record(capsys, tmp_path, rate)
+        self.record(capsys, tmp_path, 70000.0 * 0.8)
+        code, out = run_cli(
+            capsys, "history", "check", "--history-dir", str(tmp_path / "hist")
+        )
+        assert code == 1
+        assert "REGRESSION" in out
+        assert "timing_refs_per_sec" in out
+
+    def test_empty_store(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "history", "list", "--history-dir", str(tmp_path / "hist")
+        )
+        assert code == 0 and "no history" in out
+
+    def test_record_bench_requires_payload(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["history", "record-bench",
+                  "--history-dir", str(tmp_path / "hist")])
+
+
+class TestStatusCommand:
+    def test_status_of_finished_run(self, capsys, tmp_path):
+        from repro.common.params import MachineParams
+        from repro.runner import BatchRunner, JobSpec
+        from repro.core.schemes import Scheme
+
+        params = MachineParams.scaled_down(
+            factor=256, nodes=2, page_size=256
+        ).replace(seed=1998)
+        spec = JobSpec.timing(
+            params, Scheme.V_COMA, "radix", 8, max_refs_per_node=300,
+            overrides={"intensity": 0.2},
+        )
+        runner = BatchRunner(jobs=1, manifest_dir=tmp_path / "runs")
+        (job,) = runner.run([spec])
+        assert job.ok
+
+        code, out = run_cli(
+            capsys, "status", runner.run_id, "--cache-dir", str(tmp_path)
+        )
+        assert code == 0
+        assert "1/1 jobs (100%)" in out
+        assert "1 ok, 0 failed, 0 running" in out
+
+        code, out = run_cli(capsys, "status", "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert runner.run_id in out
+
+    def test_status_shows_running_job(self, capsys, tmp_path):
+        from repro.common.params import MachineParams
+        from repro.runner import JobSpec, RunManifest
+        from repro.core.schemes import Scheme
+
+        params = MachineParams.scaled_down(factor=256, nodes=2, page_size=256)
+        spec = JobSpec.timing(params, Scheme.V_COMA, "radix", 8)
+        manifest = RunManifest.create(tmp_path / "runs", total=3, run_id="run-x")
+        manifest.record_heartbeat(spec, attempt=2, worker=0, workers=2)
+        manifest.close()
+
+        code, out = run_cli(
+            capsys, "status", "run-x", "--cache-dir", str(tmp_path)
+        )
+        assert code == 0
+        assert "0 ok, 0 failed, 1 running, 2 pending" in out
+        assert "attempt 2, worker 0" in out
+
+    def test_status_unknown_run(self, capsys, tmp_path):
+        with pytest.raises(SystemExit, match="unknown run id"):
+            main(["status", "nope", "--cache-dir", str(tmp_path)])
+
+    def test_status_no_runs(self, capsys, tmp_path):
+        code, out = run_cli(capsys, "status", "--cache-dir", str(tmp_path))
+        assert code == 0 and "no runs" in out

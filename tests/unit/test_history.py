@@ -1,0 +1,169 @@
+"""Run-history store and rolling-median regression detector."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.obs.history import (
+    HistoryEntry,
+    RunHistory,
+    config_key,
+    detect_regression,
+    entry_from_bench,
+    metric_direction,
+)
+
+BENCH_BASELINE = Path(__file__).resolve().parents[2] / "BENCH_throughput.json"
+
+
+class TestDetector:
+    def test_improving_trajectory_passes(self):
+        result = detect_regression([100, 105, 110, 120, 130], direction="higher")
+        assert result["ok"]
+        assert result["baseline_median"] == 107.5
+        assert result["latest"] == 130
+
+    def test_flat_trajectory_passes(self):
+        result = detect_regression([100.0] * 6, direction="higher")
+        assert result["ok"] and result["ratio"] == 1.0
+
+    def test_regressing_trajectory_is_flagged(self):
+        # A 20% refs/sec drop against a stable baseline must be caught.
+        result = detect_regression(
+            [100, 101, 99, 100, 100, 80], tolerance=0.1, direction="higher"
+        )
+        assert not result["ok"]
+        assert result["ratio"] == 0.8
+        assert result["baseline_median"] == 100
+
+    def test_drop_within_tolerance_passes(self):
+        result = detect_regression([100, 100, 95], tolerance=0.1, direction="higher")
+        assert result["ok"]
+
+    def test_lower_is_better_flags_a_rise(self):
+        # A slowdown metric rising 20% is the regression direction.
+        result = detect_regression(
+            [3.0, 3.1, 2.9, 3.0, 3.6], tolerance=0.1, direction="lower"
+        )
+        assert not result["ok"]
+
+    def test_single_noisy_baseline_run_is_harmless(self):
+        # The rolling *median* shrugs off one outlier in the window.
+        result = detect_regression(
+            [100, 100, 5, 100, 100, 98], tolerance=0.1, direction="higher"
+        )
+        assert result["ok"]
+        assert result["baseline_median"] == 100
+
+    def test_insufficient_history_passes(self):
+        result = detect_regression([42.0])
+        assert result["ok"] and result["reason"] == "insufficient history"
+
+    def test_window_bounds_the_baseline(self):
+        # Only the 3 values preceding the latest may form the baseline.
+        result = detect_regression([1, 1, 200, 200, 200, 180], window=3)
+        assert result["window"] == 3 and result["baseline_median"] == 200
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            detect_regression([1, 2], direction="sideways")
+        with pytest.raises(ConfigurationError):
+            detect_regression([1, 2], tolerance=1.5)
+
+    def test_metric_direction_heuristic(self):
+        assert metric_direction("timing_refs_per_sec") == "higher"
+        assert metric_direction("tracing_enabled_slowdown") == "lower"
+        assert metric_direction("translation_miss_rate") == "lower"
+        assert metric_direction("read_latency_p95") == "lower"
+        assert metric_direction("wall_seconds") == "lower"
+
+
+class TestRunHistory:
+    def entry(self, key="k" * 16, **metrics):
+        return HistoryEntry(key, metrics or {"refs_per_sec": 100.0})
+
+    def test_append_and_read_back(self, tmp_path):
+        history = RunHistory(tmp_path)
+        history.append(self.entry(refs_per_sec=100.0))
+        history.append(self.entry(refs_per_sec=110.0))
+        entries = history.entries()
+        assert [e.metrics["refs_per_sec"] for e in entries] == [100.0, 110.0]
+        assert history.keys() == ["k" * 16]
+        assert history.latest("k" * 16).metrics["refs_per_sec"] == 110.0
+
+    def test_series_skips_entries_missing_the_metric(self, tmp_path):
+        history = RunHistory(tmp_path)
+        history.append(self.entry(a=1.0))
+        history.append(self.entry(b=2.0))
+        history.append(self.entry(a=3.0))
+        assert history.series("k" * 16, "a") == [1.0, 3.0]
+
+    def test_torn_line_is_skipped(self, tmp_path):
+        history = RunHistory(tmp_path)
+        history.append(self.entry())
+        with open(history.path, "a") as handle:
+            handle.write('{"key": "trunc')  # hard-killed writer
+        history.append(self.entry())
+        assert len(history.entries()) == 2
+
+    def test_check_flags_injected_refs_per_sec_drop(self, tmp_path):
+        """End-to-end acceptance: five healthy runs, then one 20% slower
+        — the check must flag exactly the refs/sec regression."""
+        history = RunHistory(tmp_path)
+        for rate in (100.0, 102.0, 99.0, 101.0, 100.0):
+            history.append(self.entry(refs_per_sec=rate, miss_rate=0.05))
+        history.append(self.entry(refs_per_sec=80.0, miss_rate=0.05))
+        results = {row["metric"]: row for row in history.check("k" * 16)}
+        assert not results["refs_per_sec"]["ok"]
+        assert results["miss_rate"]["ok"]
+
+    def test_compare_against_baseline_entry(self, tmp_path):
+        history = RunHistory(tmp_path)
+        baseline = self.entry(refs_per_sec=100.0, slowdown=3.0)
+        history.append(self.entry(refs_per_sec=95.0, slowdown=4.0))
+        rows = {r["metric"]: r for r in history.compare(baseline)}
+        assert rows["refs_per_sec"]["ok"]  # -5% within the 10% tolerance
+        assert not rows["slowdown"]["ok"]  # +33% on a lower-is-better metric
+
+    def test_keys_separate_configurations(self, tmp_path):
+        history = RunHistory(tmp_path)
+        history.append(HistoryEntry("a" * 16, {"m": 1.0}))
+        history.append(HistoryEntry("b" * 16, {"m": 2.0}))
+        assert history.keys() == ["a" * 16, "b" * 16]
+        assert history.series("a" * 16, "m") == [1.0]
+
+
+class TestBenchEntries:
+    def test_committed_baseline_forms_a_passing_trajectory(self, tmp_path):
+        """Seeding the history with the committed bench payload and
+        re-recording it must pass every regression check — the shipped
+        baseline can never flag itself."""
+        payload = json.loads(BENCH_BASELINE.read_text())
+        history = RunHistory(tmp_path)
+        entry = history.append(entry_from_bench(payload))
+        history.append(entry_from_bench(payload))
+        assert entry.metrics["timing_refs_per_sec"] > 0
+        assert "tracing_enabled_slowdown" in entry.metrics
+        assert all(row["ok"] for row in history.check(entry.key))
+
+    def test_injected_drop_on_bench_trajectory_is_flagged(self, tmp_path):
+        payload = json.loads(BENCH_BASELINE.read_text())
+        history = RunHistory(tmp_path)
+        for _ in range(3):
+            history.append(entry_from_bench(payload))
+        slow = json.loads(BENCH_BASELINE.read_text())
+        slow["serial"]["timing"]["refs_per_sec"] *= 0.8  # inject a 20% drop
+        entry = history.append(entry_from_bench(slow))
+        results = {row["metric"]: row for row in history.check(entry.key)}
+        assert not results["timing_refs_per_sec"]["ok"]
+
+    def test_smoke_and_full_runs_never_cross_compare(self):
+        payload = json.loads(BENCH_BASELINE.read_text())
+        smoke = dict(payload, smoke=True)
+        assert entry_from_bench(payload).key != entry_from_bench(smoke).key
+
+    def test_config_key_is_stable_and_order_insensitive(self):
+        assert config_key({"a": 1, "b": 2}) == config_key({"b": 2, "a": 1})
+        assert len(config_key({"a": 1})) == 16

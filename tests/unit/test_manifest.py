@@ -12,6 +12,7 @@ from repro.runner import (
     RunManifest,
     default_manifest_dir,
     list_runs,
+    read_status,
 )
 from repro.runner.batch import JobFailure
 from repro.runner.manifest import MANIFEST_FORMAT, new_run_id
@@ -178,3 +179,83 @@ class TestRunnerManifestIntegration:
     def test_default_manifest_dir_tracks_cache_env(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
         assert default_manifest_dir() == tmp_path / "cache" / "runs"
+
+
+class TestHeartbeatsAndStatus:
+    def test_heartbeat_round_trip(self, tmp_path, params):
+        """A dispatched-but-unfinished job shows as running, with its
+        attempt, worker slot, and dispatch stamp, via read_status."""
+        spec = specs_for(params, ["fft"])[0]
+        manifest = RunManifest.create(tmp_path, total=2, run_id="run-hb")
+        manifest.record_heartbeat(spec, attempt=2, worker=1, workers=4)
+        manifest.close()
+
+        view = read_status("run-hb", tmp_path)
+        assert view["total"] == 2 and view["workers"] == 4
+        assert view["counts"] == {"ok": 0, "failed": 0, "running": 1}
+        assert view["pending"] == 1
+        (job,) = view["jobs"].values()
+        assert job["state"] == "running"
+        assert job["attempt"] == 2 and job["worker"] == 1
+        assert job["since"] > 0
+        assert job["label"] == spec.describe()
+
+    def test_success_supersedes_heartbeat(self, tmp_path, params):
+        spec = specs_for(params, ["fft"])[0]
+        (job,) = BatchRunner(jobs=1).run([spec])
+        manifest = RunManifest.create(tmp_path, total=1, run_id="run-done")
+        manifest.record_heartbeat(spec, attempt=1)
+        manifest.record_success(spec, job.summary, elapsed=1.5)
+        manifest.close()
+
+        view = read_status("run-done", tmp_path)
+        assert view["counts"] == {"ok": 1, "failed": 0, "running": 0}
+        (entry,) = view["jobs"].values()
+        assert entry["state"] == "ok" and entry["elapsed"] == 1.5
+        assert "since" not in entry
+        assert view["avg_job_seconds"] == 1.5
+        assert view["eta_seconds"] == 0.0
+
+    def test_heartbeats_never_affect_resume(self, tmp_path, params):
+        """load() must skip heartbeat lines: a heartbeat with no landed
+        result is neither completed nor failed."""
+        spec = specs_for(params, ["fft"])[0]
+        manifest = RunManifest.create(tmp_path, total=1, run_id="run-live")
+        manifest.record_heartbeat(spec, attempt=1)
+        manifest.close()
+
+        loaded = RunManifest.load(tmp_path, "run-live")
+        assert loaded.completed == {} and loaded.failed == {}
+        loaded.close()
+
+    def test_runner_emits_heartbeats_before_results(self, tmp_path, params):
+        specs = specs_for(params, ["fft", "radix"])
+        runner = BatchRunner(jobs=1, manifest_dir=tmp_path)
+        jobs = runner.run(specs)
+        assert all(job.ok for job in jobs)
+
+        lines = [
+            json.loads(line)
+            for line in (tmp_path / f"{runner.run_id}.jsonl").read_text().splitlines()
+        ]
+        beats = [l for l in lines if "heartbeat" in l]
+        assert len(beats) == 2
+        for spec, beat in zip(specs, beats):
+            assert beat["hash"] == spec.content_hash()
+            assert beat["attempt"] == 1
+        # Every heartbeat precedes its job's landed result.
+        for beat in beats:
+            beat_at = lines.index(beat)
+            landed = [
+                i for i, l in enumerate(lines)
+                if "heartbeat" not in l and l.get("hash") == beat["hash"]
+            ]
+            assert landed and all(i > beat_at for i in landed)
+
+        view = read_status(runner.run_id, tmp_path)
+        assert view["counts"] == {"ok": 2, "failed": 0, "running": 0}
+        assert view["pending"] == 0
+
+    def test_status_unknown_run_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_status("no-such-run", tmp_path)
