@@ -1,0 +1,102 @@
+"""CI gate: the compiled timing fast path must match the scalar oracle.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/check_timing_equivalence.py
+
+Executes a grid of coupled timing runs — every translation scheme,
+fully-associative and direct-mapped structures, a sync-heavy workload
+mix (RAYTRACE's lock contention included), with and without
+``max_refs_per_node`` truncation — twice: once preferring the compiled
+columnar engine and once forced onto the scalar reference engine
+(``fast=False``).  Every pair of :class:`RunSummary` serializations
+must be bit-identical (total time, per-node breakdowns, all counters,
+TLB/DLB statistics, latency histograms); the only allowed difference
+is the ``backend`` tag itself.
+
+The check honours ``REPRO_NO_NUMPY`` and ``REPRO_NO_NUMBA``, so the CI
+matrix runs it against every kernel/backend combination.  When the
+compiled backend is unavailable (missing gcc/cffi, or ``REPRO_NO_NUMBA``
+set) both passes run scalar; the check then degrades to a determinism
+check and says so — still worth running, but the compiled legs are the
+ones that prove the tentpole contract.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import MachineParams, Scheme, make_workload
+from repro.analysis import run_timing
+from repro.core.replay import get_numpy
+from repro.core.schemes import SCHEME_ORDER
+from repro.core.timing_kernels import backend_status
+from repro.core.tlb import Organization
+from repro.runner.summary import RunSummary
+
+PARAMS = MachineParams.scaled_down(factor=64, nodes=4, page_size=256)
+#: (workload, intensity, entries, organization, max_refs_per_node)
+CASES = (
+    ("radix", 0.3, 8, Organization.FULLY_ASSOCIATIVE, None),
+    ("raytrace", 0.5, 8, Organization.FULLY_ASSOCIATIVE, None),
+    ("raytrace", 0.5, 8, Organization.DIRECT_MAPPED, 300),
+    ("ocean", 0.2, 16, Organization.FULLY_ASSOCIATIVE, 250),
+)
+
+
+def comparable(result) -> dict:
+    """The run's full serialized surface minus the backend tag."""
+    payload = RunSummary.from_result(result).to_dict()
+    payload.pop("backend", None)
+    return payload
+
+
+def main() -> int:
+    kernels = "pure-python" if get_numpy() is None else "numpy"
+    status = backend_status()
+    print(f"timing equivalence check ({kernels} kernels, "
+          f"timing backend: {status})", flush=True)
+
+    failures = []
+    checked = 0
+    compiled_runs = 0
+    for scheme in SCHEME_ORDER:
+        for name, intensity, entries, org, max_refs in CASES:
+            label = (f"{scheme.value}/{name}@{intensity}"
+                     f"{org.suffix or '/FA'}"
+                     f"{f'/refs={max_refs}' if max_refs else ''}")
+            kwargs = dict(
+                organization=org, max_refs_per_node=max_refs
+            )
+            fast = run_timing(
+                PARAMS, scheme, make_workload(name, intensity=intensity),
+                entries, **kwargs
+            )
+            scalar = run_timing(
+                PARAMS, scheme, make_workload(name, intensity=intensity),
+                entries, fast=False, **kwargs
+            )
+            checked += 1
+            compiled_runs += fast.backend == "compiled"
+            if comparable(fast) != comparable(scalar):
+                failures.append(f"{label}: fast ({fast.backend}) != scalar")
+
+    if failures:
+        print(f"FAIL: {len(failures)} of {checked} runs diverged:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    if compiled_runs == 0:
+        print(f"OK (degraded): {checked} scalar runs deterministic, but the "
+              f"compiled backend never ran ({status})")
+    else:
+        print(f"OK: {checked} timing runs bit-identical "
+              f"({compiled_runs} on the compiled engine)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -82,6 +82,7 @@ def run_timing(
     max_refs_per_node: Optional[int] = None,
     contention: bool = False,
     tracer=None,
+    fast: bool = True,
 ) -> RunResult:
     """Coupled run: one real translation structure, penalties charged.
 
@@ -91,6 +92,11 @@ def run_timing(
     a latency-only model would hand out for free).  An optional
     :class:`~repro.obs.trace.Tracer` records one span per reference and
     protocol transaction plus TLB/DLB hit/fill events.
+
+    ``fast=False`` forces the scalar reference engine; the default
+    prefers the compiled columnar fast path when this run is eligible
+    (bit-identical either way — ``result.backend`` records which engine
+    ran; see ``docs/performance.md``).
     """
     from repro.system.taps import TimingAgent
 
@@ -104,7 +110,7 @@ def run_timing(
     machine = Machine(
         params, scheme, workload, agent=agent, contention=contention, tracer=tracer
     )
-    return Simulator(machine, max_refs_per_node=max_refs_per_node).run()
+    return Simulator(machine, max_refs_per_node=max_refs_per_node, fast=fast).run()
 
 
 def _default_runner(runner):

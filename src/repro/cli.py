@@ -37,9 +37,12 @@ node.  Simulation-grid commands (``sweep``, ``timing``, ``table2-4``,
 ``report``) also accept ``--jobs N`` to shard independent simulations
 across worker processes (clamped to the CPU count), ``--cache-dir`` to
 relocate the persistent result cache, ``--no-cache`` to bypass it,
-``--cache-max-mb`` to cap it with LRU eviction, and ``--no-replay`` to
+``--cache-max-mb`` to cap it with LRU eviction, ``--no-replay`` to
 force miss sweeps down the coupled scalar path instead of the
-record-once/replay-many pipeline (see ``docs/performance.md``).
+record-once/replay-many pipeline, and ``--no-fast-timing`` to force
+coupled timing runs onto the scalar reference engine instead of the
+compiled columnar fast path (see ``docs/performance.md``; the
+``timing`` output's ``engine`` line reports which one ran).
 
 Grids run under the fault-tolerant supervisor (``docs/robustness.md``):
 ``--retries N`` retries transient failures with backoff, ``--timeout S``
@@ -106,6 +109,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run miss sweeps through the coupled scalar path "
                             "instead of the record/replay pipeline "
                             "(bit-identical, much slower)")
+        p.add_argument("--no-fast-timing", action="store_true",
+                       help="run coupled timing simulations on the scalar "
+                            "reference engine instead of the compiled "
+                            "columnar fast path (bit-identical, much "
+                            "slower; sets REPRO_NO_FAST_TIMING)")
         p.add_argument("--retries", type=int, default=0,
                        help="retry budget per job for transient failures "
                             "(I/O errors, corrupt traces, worker death, "
@@ -190,6 +198,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write to a file instead of stdout")
     p.add_argument("--trace-out", default=None, metavar="FILE",
                    help="also record the protocol-event trace as JSONL")
+    p.add_argument("--no-fast-timing", action="store_true",
+                   help="force the scalar reference engine "
+                        "(sets REPRO_NO_FAST_TIMING)")
     add_machine_options(p)
 
     p = sub.add_parser("validate", help="check the paper's shape-claims on this configuration")
@@ -564,6 +575,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _dispatch(args, out) -> int:
+    if getattr(args, "no_fast_timing", False):
+        # Environment, not a parameter: the switch must reach worker
+        # processes spawned by the batch runner too.
+        import os
+
+        os.environ["REPRO_NO_FAST_TIMING"] = "1"
+
     if args.command == "describe":
         out.write(machine_params(args).describe() + "\n")
         return 0
@@ -646,6 +664,8 @@ def _dispatch(args, out) -> int:
             sys.stderr.write(f"wrote {args.metrics_out} ({fmt})\n")
         breakdown = result.average_breakdown()
         out.write(f"scheme        : {args.scheme}\n")
+        if result.backend is not None:
+            out.write(f"engine        : {result.backend}\n")
         out.write(f"total time    : {result.total_time:,} cycles\n")
         out.write(f"references    : {result.total_references:,}\n")
         out.write(

@@ -139,11 +139,10 @@ class ProtocolEngine:
         ]
         self.directories: List[Directory] = [Directory(n) for n in range(params.nodes)]
         self.counters = Counters()
-        #: Optional :class:`~repro.obs.trace.Tracer` (set by the
-        #: machine).  When attached, every demand transaction becomes a
-        #: span and injections/invalidations become events; when None
-        #: the demand path pays one pointer check.
-        self.trace = None
+        self._trace = None
+        self._em_fetch = None
+        self._em_upgrade = None
+        self._em_invalidate = None
         # Translation cycles of the transaction in flight (reported via
         # AccessOutcome.translation; reset by the demand entry points).
         self._translation_accum = 0
@@ -158,6 +157,32 @@ class ProtocolEngine:
         # a block with no master copy (its page was swapped out).  The
         # handler pages it back in and returns True on success.
         self.fault_handler: Optional[Callable[[int], bool]] = None
+
+    @property
+    def trace(self):
+        """Optional :class:`~repro.obs.trace.Tracer` (set by the
+        machine).  When attached, every demand transaction becomes a
+        span and injections/invalidations become events; when None the
+        demand path pays one pointer check.  Attaching hoists packed
+        emitters for the per-transaction record shapes."""
+        return self._trace
+
+    @trace.setter
+    def trace(self, tracer) -> None:
+        self._trace = tracer
+        if tracer is None:
+            self._em_fetch = self._em_upgrade = self._em_invalidate = None
+            return
+        span_keys = (("node", "write", "block", "home"), ("remote", "translation"))
+        self._em_fetch = tracer.span_emitter(
+            "protocol.fetch", *span_keys, bools=("write", "remote")
+        )
+        self._em_upgrade = tracer.span_emitter(
+            "protocol.upgrade", *span_keys, bools=("write", "remote")
+        )
+        self._em_invalidate = tracer.event_emitter(
+            "protocol.invalidate", ("node", "block", "home")
+        )
 
     # ------------------------------------------------------------------
     # helpers
@@ -194,8 +219,8 @@ class ProtocolEngine:
         """Satisfy an SLC miss at ``node`` for the block holding
         ``addr``; guarantees the local AM ends with a readable copy
         (EXCLUSIVE when ``is_write``)."""
-        if self.trace is not None:
-            return self._traced(self._fetch, "protocol.fetch", node, addr, is_write, now)
+        if self._trace is not None:
+            return self._traced(self._fetch, self._em_fetch, node, addr, is_write, now)
         return self._fetch(node, addr, is_write, now)
 
     def _fetch(self, node: int, addr: int, is_write: bool, now: int) -> AccessOutcome:
@@ -216,33 +241,22 @@ class ProtocolEngine:
         """A store hit a clean-shared SLC block: the AM must gain
         exclusive ownership.  (If the AM already owns it exclusively the
         access completes locally.)"""
-        if self.trace is not None:
+        if self._trace is not None:
             return self._traced(
-                self._upgrade_for_write, "protocol.upgrade", node, addr, True, now
+                self._upgrade_for_write, self._em_upgrade, node, addr, True, now
             )
         return self._upgrade_for_write(node, addr, now)
 
-    def _traced(self, entry_point, span_name, node, addr, is_write, now) -> AccessOutcome:
-        """Run one demand transaction inside a trace span."""
-        trace = self.trace
+    def _traced(self, entry_point, emitters, node, addr, is_write, now) -> AccessOutcome:
+        """Run one demand transaction inside a (packed) trace span."""
+        begin, end = emitters
         block = self.layout.block_base(addr)
-        trace.begin(
-            span_name,
-            now,
-            node=node,
-            write=bool(is_write),
-            block=block,
-            home=self.home_of(block),
-        )
-        if span_name == "protocol.fetch":
+        begin(now, node, bool(is_write), block, self.home_of(block))
+        if emitters is self._em_fetch:
             outcome = entry_point(node, addr, is_write, now)
         else:
             outcome = entry_point(node, addr, now)
-        trace.end(
-            now + outcome.cycles,
-            remote=outcome.remote,
-            translation=outcome.translation,
-        )
+        end(now + outcome.cycles, outcome.remote, outcome.translation)
         return outcome
 
     def _upgrade_for_write(self, node: int, addr: int, now: int) -> AccessOutcome:
@@ -373,16 +387,14 @@ class ProtocolEngine:
         the slowest ack reaches home (overlapped multicast)."""
         holders = [n for n in entry.holders if n != exclude]
         done = start
-        trace = self.trace
+        emit = self._em_invalidate
         for holder in holders:
             arrive = self.crossbar.transfer(MessageKind.INVALIDATE, home, holder, start)
             self._invalidate_copy(holder, block)
             ack = self.crossbar.transfer(MessageKind.ACK, holder, home, arrive)
             done = max(done, ack)
-            if trace is not None:
-                trace.event(
-                    "protocol.invalidate", arrive, node=holder, block=block, home=home
-                )
+            if emit is not None:
+                emit(arrive, holder, block, home)
         entry.sharers.difference_update(holders)
         if entry.owner in holders:
             entry.owner = None
@@ -423,8 +435,8 @@ class ProtocolEngine:
         :class:`CapacityError` is raised."""
         self.counters.add("injections")
         home = self.home_of(block)
-        if self.trace is not None:
-            self.trace.event(
+        if self._trace is not None:
+            self._trace.event(
                 "protocol.inject", now, node=src, block=block, home=home,
                 state=state.name,
             )

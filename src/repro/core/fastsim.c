@@ -1,0 +1,1797 @@
+/* Compiled timing kernel: the scalar simulator's READ/WRITE hot path,
+ * ported statement-for-statement so results are bit-identical.
+ *
+ * The Python side (repro.core.timing_kernels / repro.system.fast_simulator)
+ * owns everything between synchronization points is NOT true here: this
+ * kernel owns the (clock, node) event heap and processes whole columnar
+ * epochs of plain loads/stores; it returns to Python only when the
+ * minimum-clock node's next event is a BARRIER/LOCK/UNLOCK, when a node's
+ * stream ends (or hits max_refs), or when the heap drains.  Python then
+ * performs exactly the scalar engine's synchronization bookkeeping and
+ * re-enters.
+ *
+ * Exactness requirements honoured here:
+ *  - CPython's random.Random: MT19937 seeded via init_by_array over the
+ *    little-endian 32-bit digits of the 64-bit substream seed;
+ *    getrandbits(k<=32) == genrand_uint32() >> (32-k); _randbelow via
+ *    rejection sampling; shuffle's exact Fisher-Yates loop.
+ *  - Python-dict LRU semantics for caches/AM (insertion order, pop and
+ *    re-insert on touch, first key is the victim).
+ *  - The protocol engine's statement order (counter creation included:
+ *    a counter key exists iff Counters.add() was called, even with 0).
+ *
+ * Built with plain `gcc -O2 -shared -fPIC` and loaded through cffi's ABI
+ * mode; no Python.h involved.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* ------------------------------------------------------------------ */
+/* status / error codes                                                */
+/* ------------------------------------------------------------------ */
+#define FS_DONE 0
+#define FS_SYNC 1
+#define FS_NEED_FINISH 2
+
+#define FS_ERR_PROTOCOL (-1)
+#define FS_ERR_CAPACITY (-2)
+#define FS_ERR_KEY (-3)
+#define FS_ERR_INTERNAL (-4)
+
+/* message kinds (order mirrors repro.interconnect.message.MessageKind) */
+#define MSG_READ_REQUEST 0
+#define MSG_WRITE_REQUEST 1
+#define MSG_UPGRADE_REQUEST 2
+#define MSG_FORWARD 3
+#define MSG_INVALIDATE 4
+#define MSG_ACK 5
+#define MSG_SHARER_DROP 6
+#define MSG_BLOCK_REPLY 7
+#define MSG_INJECT 8
+#define MSG_INJECT_FORWARD 9
+#define N_MSG_KINDS 10
+
+/* AM states (repro.coma.states.AMState) */
+#define AM_INVALID 0
+#define AM_SHARED 1
+#define AM_MASTER_SHARED 2
+#define AM_EXCLUSIVE 3
+
+/* SLC/FLC block states (repro.cache.cache) */
+#define ST_CLEAN_SHARED 0
+#define ST_CLEAN_EXCLUSIVE 1
+#define ST_DIRTY 2
+
+/* global counter indices (mirrored in timing_kernels.GLOBAL_COUNTERS) */
+#define G_AM_LOCAL_HITS 0
+#define G_REMOTE_READS 1
+#define G_REMOTE_WRITES 2
+#define G_UPGRADES 3
+#define G_INVALIDATIONS 4
+#define G_INJECTIONS 5
+#define G_INJECT_FORWARDS 6
+#define G_INJECT_MERGES 7
+#define G_INJECT_DISPLACEMENTS 8
+#define G_SHARER_DROPS 9
+#define G_SLC_WB_TO_AM 10
+#define G_MSG_BASE 11 /* 11..20: msg_<kind> in MessageKind order */
+#define G_MSG_LOCAL 21
+#define G_MSG_REMOTE 22
+#define G_NETWORK_CYCLES 23
+#define G_PAYLOAD_BYTES 24
+#define N_GLOBAL 25
+
+/* per-node counter indices (timing_kernels.NODE_COUNTERS) */
+#define C_READS 0
+#define C_WRITES 1
+#define C_HIDDEN_STORE_CYCLES 2
+#define C_REMOTE_ACCESSES 3
+#define C_AM_LOCAL_ACCESSES 4
+#define C_SLC_WRITEBACKS 5
+#define C_SLC_COHERENCE_WRITEBACKS 6
+#define C_INCLUSION_INVALIDATIONS 7
+#define C_INCLUSION_DOWNGRADES 8
+#define N_NODE_CTR 9
+
+/* translation taps */
+#define TAP_NONE (-1)
+#define TAP_L0 0
+#define TAP_L1 1
+#define TAP_L2 2
+#define TAP_L3 3
+#define TAP_HOME 4
+
+#define N_HIST_BUCKETS 64
+
+/* geometry array indices (timing_kernels.GEOM fields) */
+enum {
+    GEOM_NODES = 0,
+    GEOM_THINK,
+    GEOM_PAGE_BITS,
+    GEOM_BLOCK_BITS,
+    GEOM_FLC_BLOCK,
+    GEOM_FLC_SETS,
+    GEOM_FLC_ASSOC,
+    GEOM_SLC_BLOCK,
+    GEOM_SLC_SETS,
+    GEOM_SLC_ASSOC,
+    GEOM_AM_SETS,
+    GEOM_AM_ASSOC,
+    GEOM_SLC_HIT,
+    GEOM_AM_HIT,
+    GEOM_REQ_CYCLES,
+    GEOM_BLK_CYCLES,
+    GEOM_DIR_LATENCY,
+    GEOM_PENALTY,
+    GEOM_VIRTUAL_FLC,
+    GEOM_VIRTUAL_SLC,
+    GEOM_VIRTUAL_AM,
+    GEOM_RELAXED,
+    GEOM_TAP, /* TAP_NONE when no timing agent */
+    GEOM_INCLUDE_L2_WB,
+    GEOM_TLB_ENTRIES,
+    GEOM_TLB_SETS,
+    GEOM_TLB_ASSOC,
+    GEOM_MAX_REFS, /* -1: unlimited */
+    GEOM_AM_BLOCK,
+    GEOM_REQ_PAYLOAD,
+    GEOM_BLK_PAYLOAD,
+    GEOM_DIR_CAPACITY,
+    GEOM_MAP_CAPACITY,
+    GEOM_LEN
+};
+
+/* ------------------------------------------------------------------ */
+/* CPython-compatible Mersenne Twister                                 */
+/* ------------------------------------------------------------------ */
+#define MT_N 624
+#define MT_M 397
+#define MT_MATRIX_A 0x9908b0dfU
+#define MT_UPPER 0x80000000U
+#define MT_LOWER 0x7fffffffU
+
+typedef struct {
+    uint32_t mt[MT_N];
+    int index;
+} MT;
+
+/* States transfer from/to random.Random.getstate()/setstate() (625
+ * words: mt[624] + index), so the generator never needs Python's
+ * seeding logic — only the core recurrence and tempering. */
+static void mt_load(MT *r, const uint32_t *state) {
+    memcpy(r->mt, state, MT_N * sizeof(uint32_t));
+    r->index = (int)state[MT_N];
+}
+
+static uint32_t mt_genrand(MT *r) {
+    uint32_t y;
+    if (r->index >= MT_N) {
+        int kk;
+        uint32_t *mt = r->mt;
+        for (kk = 0; kk < MT_N - MT_M; kk++) {
+            y = (mt[kk] & MT_UPPER) | (mt[kk + 1] & MT_LOWER);
+            mt[kk] = mt[kk + MT_M] ^ (y >> 1) ^ ((y & 1U) ? MT_MATRIX_A : 0U);
+        }
+        for (; kk < MT_N - 1; kk++) {
+            y = (mt[kk] & MT_UPPER) | (mt[kk + 1] & MT_LOWER);
+            mt[kk] = mt[kk + (MT_M - MT_N)] ^ (y >> 1) ^ ((y & 1U) ? MT_MATRIX_A : 0U);
+        }
+        y = (mt[MT_N - 1] & MT_UPPER) | (mt[0] & MT_LOWER);
+        mt[MT_N - 1] = mt[MT_M - 1] ^ (y >> 1) ^ ((y & 1U) ? MT_MATRIX_A : 0U);
+        r->index = 0;
+    }
+    y = r->mt[r->index++];
+    y ^= (y >> 11);
+    y ^= (y << 7) & 0x9d2c5680U;
+    y ^= (y << 15) & 0xefc60000U;
+    y ^= (y >> 18);
+    return y;
+}
+
+/* random.getrandbits(k) for 1 <= k <= 32 */
+static inline uint32_t mt_getrandbits(MT *r, int k) {
+    return mt_genrand(r) >> (32 - k);
+}
+
+static inline int bit_length32(uint32_t n) {
+    int b = 0;
+    while (n) {
+        b++;
+        n >>= 1;
+    }
+    return b;
+}
+
+/* random.Random._randbelow_with_getrandbits */
+static uint32_t mt_randbelow(MT *r, uint32_t n) {
+    if (!n) return 0;
+    int k = bit_length32(n);
+    uint32_t v = mt_getrandbits(r, k);
+    while (v >= n) v = mt_getrandbits(r, k);
+    return v;
+}
+
+/* random.Random.shuffle */
+static void mt_shuffle(MT *r, int32_t *arr, int len) {
+    for (int i = len - 1; i >= 1; i--) {
+        uint32_t j = mt_randbelow(r, (uint32_t)(i + 1));
+        int32_t tmp = arr[i];
+        arr[i] = arr[j];
+        arr[j] = tmp;
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* ordered (LRU) set-associative tag store == Python dict semantics    */
+/* ------------------------------------------------------------------ */
+typedef struct {
+    int64_t *blocks; /* sets * assoc, per-set insertion order (LRU first) */
+    uint8_t *states;
+    int32_t *count; /* per set */
+    int64_t sets;
+    int64_t assoc;
+    int64_t set_mask;
+    int block_shift;
+    int64_t block_mask; /* ~(block_size-1) */
+    int64_t hits, misses;
+} Lru;
+
+static int lru_init(Lru *c, int64_t sets, int64_t assoc, int64_t block_size) {
+    c->sets = sets;
+    c->assoc = assoc;
+    c->set_mask = sets - 1;
+    c->block_shift = bit_length32((uint32_t)block_size) - 1;
+    c->block_mask = ~(block_size - 1);
+    c->hits = 0;
+    c->misses = 0;
+    c->blocks = (int64_t *)malloc(sizeof(int64_t) * sets * assoc);
+    c->states = (uint8_t *)malloc(sizeof(uint8_t) * sets * assoc);
+    c->count = (int32_t *)calloc(sets, sizeof(int32_t));
+    return (c->blocks && c->states && c->count) ? 0 : -1;
+}
+
+static void lru_free(Lru *c) {
+    free(c->blocks);
+    free(c->states);
+    free(c->count);
+}
+
+static inline int64_t lru_set_of(const Lru *c, int64_t addr) {
+    return (addr >> c->block_shift) & c->set_mask;
+}
+
+static inline int lru_find(const Lru *c, int64_t set, int64_t block) {
+    const int64_t *b = c->blocks + set * c->assoc;
+    int n = c->count[set];
+    for (int i = 0; i < n; i++) {
+        if (b[i] == block) return i;
+    }
+    return -1;
+}
+
+/* dict pop + reinsert: move way `i` to the back, keep its state */
+static inline void lru_touch(Lru *c, int64_t set, int i) {
+    int n = c->count[set];
+    if (i == n - 1) return;
+    int64_t *b = c->blocks + set * c->assoc;
+    uint8_t *s = c->states + set * c->assoc;
+    int64_t blk = b[i];
+    uint8_t st = s[i];
+    memmove(b + i, b + i + 1, (n - 1 - i) * sizeof(int64_t));
+    memmove(s + i, s + i + 1, (n - 1 - i) * sizeof(uint8_t));
+    b[n - 1] = blk;
+    s[n - 1] = st;
+}
+
+static inline void lru_remove_at(Lru *c, int64_t set, int i) {
+    int n = c->count[set];
+    int64_t *b = c->blocks + set * c->assoc;
+    uint8_t *s = c->states + set * c->assoc;
+    memmove(b + i, b + i + 1, (n - 1 - i) * sizeof(int64_t));
+    memmove(s + i, s + i + 1, (n - 1 - i) * sizeof(uint8_t));
+    c->count[set] = n - 1;
+}
+
+static inline void lru_append(Lru *c, int64_t set, int64_t block, uint8_t state) {
+    int n = c->count[set];
+    c->blocks[set * c->assoc + n] = block;
+    c->states[set * c->assoc + n] = state;
+    c->count[set] = n + 1;
+}
+
+/* ------------------------------------------------------------------ */
+/* open-addressed int64 -> slot hash maps (no deletion)                */
+/* ------------------------------------------------------------------ */
+typedef struct {
+    int64_t *keys; /* -1 == empty */
+    int64_t *slot; /* payload index (or value) */
+    int64_t capacity;
+    int64_t mask;
+    int64_t used;
+} Map;
+
+static int map_init(Map *m, int64_t capacity_hint) {
+    int64_t cap = 16;
+    while (cap < capacity_hint * 2) cap <<= 1;
+    m->capacity = cap;
+    m->mask = cap - 1;
+    m->used = 0;
+    m->keys = (int64_t *)malloc(sizeof(int64_t) * cap);
+    m->slot = (int64_t *)malloc(sizeof(int64_t) * cap);
+    if (!m->keys || !m->slot) return -1;
+    for (int64_t i = 0; i < cap; i++) m->keys[i] = -1;
+    return 0;
+}
+
+static void map_free(Map *m) {
+    free(m->keys);
+    free(m->slot);
+}
+
+static inline uint64_t map_hash(int64_t key) {
+    uint64_t h = (uint64_t)key;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h;
+}
+
+static int64_t map_get(const Map *m, int64_t key) {
+    uint64_t i = map_hash(key) & m->mask;
+    while (m->keys[i] != -1) {
+        if (m->keys[i] == key) return m->slot[i];
+        i = (i + 1) & m->mask;
+    }
+    return -1;
+}
+
+static int map_grow(Map *m);
+
+static int map_put(Map *m, int64_t key, int64_t value) {
+    if ((m->used + 1) * 10 >= m->capacity * 7) {
+        if (map_grow(m)) return -1;
+    }
+    uint64_t i = map_hash(key) & m->mask;
+    while (m->keys[i] != -1) {
+        if (m->keys[i] == key) {
+            m->slot[i] = value;
+            return 0;
+        }
+        i = (i + 1) & m->mask;
+    }
+    m->keys[i] = key;
+    m->slot[i] = value;
+    m->used++;
+    return 0;
+}
+
+static int map_grow(Map *m) {
+    int64_t old_cap = m->capacity;
+    int64_t *ok = m->keys, *os = m->slot;
+    m->capacity = old_cap * 2;
+    m->mask = m->capacity - 1;
+    m->keys = (int64_t *)malloc(sizeof(int64_t) * m->capacity);
+    m->slot = (int64_t *)malloc(sizeof(int64_t) * m->capacity);
+    if (!m->keys || !m->slot) return -1;
+    for (int64_t i = 0; i < m->capacity; i++) m->keys[i] = -1;
+    m->used = 0;
+    for (int64_t i = 0; i < old_cap; i++) {
+        if (ok[i] != -1) {
+            uint64_t j = map_hash(ok[i]) & m->mask;
+            while (m->keys[j] != -1) j = (j + 1) & m->mask;
+            m->keys[j] = ok[i];
+            m->slot[j] = os[i];
+            m->used++;
+        }
+    }
+    free(ok);
+    free(os);
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* directory storage: block -> (owner, sharer bitmask)                 */
+/* ------------------------------------------------------------------ */
+typedef struct {
+    Map index; /* block -> entry slot */
+    int64_t *blocks;
+    int32_t *owner;
+    uint64_t *sharers; /* nentries * swords */
+    int64_t nentries;
+    int64_t cap_entries;
+    int swords;
+} Dir;
+
+static int dir_init(Dir *d, int64_t capacity_hint, int swords) {
+    d->swords = swords;
+    d->nentries = 0;
+    d->cap_entries = capacity_hint > 16 ? capacity_hint : 16;
+    d->blocks = (int64_t *)malloc(sizeof(int64_t) * d->cap_entries);
+    d->owner = (int32_t *)malloc(sizeof(int32_t) * d->cap_entries);
+    d->sharers = (uint64_t *)calloc(d->cap_entries * swords, sizeof(uint64_t));
+    if (!d->blocks || !d->owner || !d->sharers) return -1;
+    return map_init(&d->index, capacity_hint);
+}
+
+static void dir_free(Dir *d) {
+    free(d->blocks);
+    free(d->owner);
+    free(d->sharers);
+    map_free(&d->index);
+}
+
+/* entry slot, creating on first touch (caller counts the lookup) */
+static int64_t dir_entry_slot(Dir *d, int64_t block) {
+    int64_t slot = map_get(&d->index, block);
+    if (slot >= 0) return slot;
+    if (d->nentries >= d->cap_entries) {
+        int64_t nc = d->cap_entries * 2;
+        int64_t *nb = (int64_t *)realloc(d->blocks, sizeof(int64_t) * nc);
+        int32_t *no = (int32_t *)realloc(d->owner, sizeof(int32_t) * nc);
+        uint64_t *ns = (uint64_t *)realloc(d->sharers, sizeof(uint64_t) * nc * d->swords);
+        if (!nb || !no || !ns) return FS_ERR_INTERNAL;
+        memset(ns + d->cap_entries * d->swords, 0,
+               (nc - d->cap_entries) * d->swords * sizeof(uint64_t));
+        d->blocks = nb;
+        d->owner = no;
+        d->sharers = ns;
+        d->cap_entries = nc;
+    }
+    slot = d->nentries++;
+    d->blocks[slot] = block;
+    d->owner[slot] = -1;
+    if (map_put(&d->index, block, slot)) return FS_ERR_INTERNAL;
+    return slot;
+}
+
+static inline void sharers_add(Dir *d, int64_t slot, int node) {
+    d->sharers[slot * d->swords + (node >> 6)] |= 1ULL << (node & 63);
+}
+
+static inline void sharers_clear_bit(Dir *d, int64_t slot, int node) {
+    d->sharers[slot * d->swords + (node >> 6)] &= ~(1ULL << (node & 63));
+}
+
+static inline int sharers_has(const Dir *d, int64_t slot, int node) {
+    return (d->sharers[slot * d->swords + (node >> 6)] >> (node & 63)) & 1;
+}
+
+static inline void sharers_zero(Dir *d, int64_t slot) {
+    memset(d->sharers + slot * d->swords, 0, d->swords * sizeof(uint64_t));
+}
+
+/* ------------------------------------------------------------------ */
+/* translation buffer (TLB / DLB)                                      */
+/* ------------------------------------------------------------------ */
+typedef struct {
+    int64_t *tags; /* sets * assoc; position == way */
+    int32_t *len;  /* per set */
+    int64_t entries, sets, assoc;
+    int assoc_bits;
+    int64_t accesses, misses;
+    MT rng;
+} Tlb;
+
+static int tlb_init(Tlb *t, int64_t entries, int64_t sets, int64_t assoc) {
+    t->entries = entries;
+    t->sets = sets;
+    t->assoc = assoc;
+    t->assoc_bits = bit_length32((uint32_t)assoc);
+    t->accesses = 0;
+    t->misses = 0;
+    t->tags = (int64_t *)malloc(sizeof(int64_t) * sets * assoc);
+    t->len = (int32_t *)calloc(sets, sizeof(int32_t));
+    return (t->tags && t->len) ? 0 : -1;
+}
+
+static void tlb_free(Tlb *t) {
+    free(t->tags);
+    free(t->len);
+}
+
+/* TranslationBuffer.access: returns 1 on hit */
+static int tlb_access(Tlb *t, int64_t page) {
+    t->accesses++;
+    int64_t set = (int64_t)(page % t->sets);
+    int64_t *ways = t->tags + set * t->assoc;
+    int n = t->len[set];
+    for (int i = 0; i < n; i++) {
+        if (ways[i] == page) return 1;
+    }
+    /* _install */
+    t->misses++;
+    if (n < t->assoc) {
+        ways[n] = page;
+        t->len[set] = n + 1;
+    } else if (t->assoc > 1) {
+        uint32_t way = mt_getrandbits(&t->rng, t->assoc_bits);
+        while (way >= (uint32_t)t->assoc) way = mt_getrandbits(&t->rng, t->assoc_bits);
+        ways[way] = page;
+    } else {
+        ways[0] = page;
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* binary heap of (time, node), lexicographic                          */
+/* ------------------------------------------------------------------ */
+typedef struct {
+    int64_t *t;
+    int32_t *n;
+    int len;
+    int cap;
+} Heap;
+
+static int heap_init(Heap *h, int cap) {
+    h->len = 0;
+    h->cap = cap;
+    h->t = (int64_t *)malloc(sizeof(int64_t) * cap);
+    h->n = (int32_t *)malloc(sizeof(int32_t) * cap);
+    return (h->t && h->n) ? 0 : -1;
+}
+
+static void heap_free(Heap *h) {
+    free(h->t);
+    free(h->n);
+}
+
+static inline int heap_less(const Heap *h, int a, int b) {
+    if (h->t[a] != h->t[b]) return h->t[a] < h->t[b];
+    return h->n[a] < h->n[b];
+}
+
+static int heap_push(Heap *h, int64_t t, int32_t n) {
+    if (h->len >= h->cap) {
+        int nc = h->cap * 2;
+        int64_t *nt = (int64_t *)realloc(h->t, sizeof(int64_t) * nc);
+        int32_t *nn = (int32_t *)realloc(h->n, sizeof(int32_t) * nc);
+        if (!nt || !nn) return -1;
+        h->t = nt;
+        h->n = nn;
+        h->cap = nc;
+    }
+    int i = h->len++;
+    h->t[i] = t;
+    h->n[i] = n;
+    while (i > 0) {
+        int parent = (i - 1) >> 1;
+        if (heap_less(h, i, parent)) {
+            int64_t tt = h->t[i];
+            int32_t tn = h->n[i];
+            h->t[i] = h->t[parent];
+            h->n[i] = h->n[parent];
+            h->t[parent] = tt;
+            h->n[parent] = tn;
+            i = parent;
+        } else {
+            break;
+        }
+    }
+    return 0;
+}
+
+static void heap_pop(Heap *h, int64_t *t_out, int32_t *n_out) {
+    *t_out = h->t[0];
+    *n_out = h->n[0];
+    h->len--;
+    if (h->len == 0) return;
+    h->t[0] = h->t[h->len];
+    h->n[0] = h->n[h->len];
+    int i = 0;
+    for (;;) {
+        int l = 2 * i + 1, r = 2 * i + 2, m = i;
+        if (l < h->len && heap_less(h, l, m)) m = l;
+        if (r < h->len && heap_less(h, r, m)) m = r;
+        if (m == i) break;
+        int64_t tt = h->t[i];
+        int32_t tn = h->n[i];
+        h->t[i] = h->t[m];
+        h->n[i] = h->n[m];
+        h->t[m] = tt;
+        h->n[m] = tn;
+        i = m;
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* the simulator state                                                 */
+/* ------------------------------------------------------------------ */
+typedef struct FastSim {
+    /* geometry */
+    int64_t nodes, think;
+    int page_bits, block_bits, node_bits;
+    int64_t page_mask, node_mask, am_block_mask, am_block;
+    int64_t slc_hit, am_hit, req_cycles, blk_cycles, dir_latency, penalty;
+    int64_t req_payload, blk_payload;
+    int virtual_flc, virtual_slc, virtual_am, needs_physical, relaxed;
+    int tap, include_l2_wb;
+    int64_t max_refs;
+
+    Lru *flc, *slc, *am; /* per node */
+    Dir dir;
+    int64_t *dir_lookups; /* per home */
+    Tlb *tlbs;
+    int ntlb;
+    MT engine_rng;
+    Map vpn2pfn, pfn2vpn;
+
+    int64_t glob[N_GLOBAL], glob_calls[N_GLOBAL];
+    int64_t *node_ctr, *node_calls;              /* nodes * N_NODE_CTR */
+    int64_t *loc_stall, *rem_stall, *tlb_stall;  /* per node */
+    int64_t *rh_buckets, *wh_buckets;            /* nodes * N_HIST_BUCKETS */
+    int64_t *rh_count, *rh_total, *wh_count, *wh_total;
+
+    const uint8_t **ops;
+    const int64_t **vals;
+    int64_t *slen, *pos;
+
+    int64_t *clock, *refs_done;
+    uint8_t *finished;
+    Heap heap;
+
+    int64_t translation_accum;
+    int64_t active_block;
+
+    int32_t *cand; /* injection candidate scratch */
+} FastSim;
+
+/* counter add == Counters.add (key exists once called, even with 0) */
+static inline void gadd(FastSim *s, int idx, int64_t amount) {
+    s->glob[idx] += amount;
+    s->glob_calls[idx]++;
+}
+
+static inline void cadd(FastSim *s, int node, int idx, int64_t amount) {
+    s->node_ctr[node * N_NODE_CTR + idx] += amount;
+    s->node_calls[node * N_NODE_CTR + idx]++;
+}
+
+static inline void hist_record(int64_t *buckets, int64_t *count, int64_t *total, int64_t latency) {
+    int bucket = 0;
+    if (latency > 0) {
+        bucket = 63 - __builtin_clzll((uint64_t)latency);
+    }
+    buckets[bucket]++;
+    (*count)++;
+    (*total) += latency;
+}
+
+/* ------------------------------------------------------------------ */
+/* address plumbing                                                    */
+/* ------------------------------------------------------------------ */
+static inline int64_t to_phys(FastSim *s, int64_t vaddr, int *err) {
+    int64_t pfn = map_get(&s->vpn2pfn, vaddr >> s->page_bits);
+    if (pfn < 0) {
+        *err = FS_ERR_KEY;
+        return 0;
+    }
+    return (pfn << s->page_bits) | (vaddr & s->page_mask);
+}
+
+static inline int64_t to_virt(FastSim *s, int64_t paddr, int *err) {
+    int64_t vpn = map_get(&s->pfn2vpn, paddr >> s->page_bits);
+    if (vpn < 0) {
+        *err = FS_ERR_KEY;
+        return 0;
+    }
+    return (vpn << s->page_bits) | (paddr & s->page_mask);
+}
+
+static inline int home_of(FastSim *s, int64_t addr) {
+    return (int)((addr >> s->page_bits) & s->node_mask);
+}
+
+/* TimingAgent._translate at a per-node tap */
+static inline int64_t translate(FastSim *s, int buffer, int64_t vpn) {
+    return tlb_access(&s->tlbs[buffer], vpn) ? 0 : s->penalty;
+}
+
+/* ------------------------------------------------------------------ */
+/* crossbar (latency-only mode; contention/topology stay scalar)       */
+/* ------------------------------------------------------------------ */
+static inline int64_t xfer(FastSim *s, int kind, int src, int dst, int64_t now) {
+    gadd(s, G_MSG_BASE + kind, 1);
+    if (src == dst) {
+        gadd(s, G_MSG_LOCAL, 1);
+        return now;
+    }
+    int carries = (kind == MSG_BLOCK_REPLY || kind == MSG_INJECT || kind == MSG_INJECT_FORWARD);
+    int64_t cycles = carries ? s->blk_cycles : s->req_cycles;
+    int64_t payload = carries ? s->blk_payload : s->req_payload;
+    gadd(s, G_MSG_REMOTE, 1);
+    gadd(s, G_NETWORK_CYCLES, cycles);
+    gadd(s, G_PAYLOAD_BYTES, payload);
+    return now + cycles;
+}
+
+/* ProtocolEngine._dir_lookup_cycles */
+static inline int64_t dir_lookup_cycles(FastSim *s, int home, int64_t addr, int injection) {
+    if (s->tap != TAP_HOME) return s->dir_latency;
+    int64_t key = (addr >> s->page_bits) >> s->node_bits;
+    int64_t pen = translate(s, home, key);
+    if (!injection) s->translation_accum += pen;
+    return s->dir_latency + pen;
+}
+
+/* Directory.entry(): counts the lookup, creates on first touch */
+static inline int64_t dir_entry(FastSim *s, int home, int64_t block) {
+    s->dir_lookups[home]++;
+    return dir_entry_slot(&s->dir, block);
+}
+
+/* ------------------------------------------------------------------ */
+/* inclusion hooks (Node.on_inclusion)                                 */
+/* ------------------------------------------------------------------ */
+static int engine_writeback(FastSim *s, int node, int64_t proto_addr) {
+    int64_t block = proto_addr & s->am_block_mask;
+    Lru *am = &s->am[node];
+    int64_t set = lru_set_of(am, block);
+    int way = lru_find(am, set, block);
+    uint8_t state = (way >= 0) ? am->states[set * am->assoc + way] : AM_INVALID;
+    if (state != AM_MASTER_SHARED && state != AM_EXCLUSIVE) return FS_ERR_PROTOCOL;
+    gadd(s, G_SLC_WB_TO_AM, 1);
+    return 0;
+}
+
+/* Node._write_back / _write_back_downgraded common tail */
+static int node_writeback_tail(FastSim *s, int node, int64_t slc_block) {
+    int err = 0;
+    int64_t vaddr = s->virtual_slc ? slc_block : to_virt(s, slc_block, &err);
+    if (err) return err;
+    if (s->tap == TAP_L2) {
+        if (s->include_l2_wb) {
+            /* cycles discarded by the caller, TLB side effects kept */
+            (void)translate(s, node, vaddr >> s->page_bits);
+        }
+    }
+    int64_t proto = s->virtual_am ? vaddr : to_phys(s, vaddr, &err);
+    if (err) return err;
+    return engine_writeback(s, node, proto);
+}
+
+static int node_write_back(FastSim *s, int node, int64_t slc_block) {
+    cadd(s, node, C_SLC_WRITEBACKS, 1);
+    return node_writeback_tail(s, node, slc_block);
+}
+
+static int node_write_back_downgraded(FastSim *s, int node, int64_t slc_block) {
+    cadd(s, node, C_SLC_COHERENCE_WRITEBACKS, 1);
+    return node_writeback_tail(s, node, slc_block);
+}
+
+static inline int64_t proto_to_slc(FastSim *s, int64_t proto_block, int *err) {
+    if (s->virtual_slc == s->virtual_am) return proto_block;
+    if (s->virtual_slc) return to_virt(s, proto_block, err);
+    return to_phys(s, proto_block, err);
+}
+
+static inline int64_t slc_to_flc(FastSim *s, int64_t slc_block, int *err) {
+    if (s->virtual_flc == s->virtual_slc) return slc_block;
+    if (s->virtual_flc) return to_virt(s, slc_block, err);
+    return to_phys(s, slc_block, err);
+}
+
+static void lru_invalidate_span(Lru *c, int64_t base, int64_t span, int64_t step) {
+    int64_t start = base & c->block_mask;
+    for (int64_t block = start; block < base + span; block += step) {
+        int64_t set = lru_set_of(c, block);
+        int way = lru_find(c, set, block);
+        if (way >= 0) lru_remove_at(c, set, way);
+    }
+}
+
+static int inclusion_invalidate(FastSim *s, int node, int64_t proto_block) {
+    int err = 0;
+    int64_t slc_base = proto_to_slc(s, proto_block, &err);
+    if (err) return err;
+    Lru *slc = &s->slc[node];
+    lru_invalidate_span(slc, slc_base, s->am_block, 1LL << slc->block_shift);
+    int64_t flc_base = slc_to_flc(s, slc_base, &err);
+    if (err) return err;
+    Lru *flc = &s->flc[node];
+    lru_invalidate_span(flc, flc_base, s->am_block, 1LL << flc->block_shift);
+    cadd(s, node, C_INCLUSION_INVALIDATIONS, 1);
+    return 0;
+}
+
+static int inclusion_downgrade(FastSim *s, int node, int64_t proto_block) {
+    int err = 0;
+    int64_t slc_base = proto_to_slc(s, proto_block, &err);
+    if (err) return err;
+    Lru *slc = &s->slc[node];
+    int64_t step = 1LL << slc->block_shift;
+    int64_t start = slc_base & slc->block_mask;
+    for (int64_t block = start; block < slc_base + s->am_block; block += step) {
+        int64_t set = lru_set_of(slc, block);
+        int way = lru_find(slc, set, block);
+        if (way < 0) continue;
+        uint8_t old = slc->states[set * slc->assoc + way];
+        if (old == ST_DIRTY) {
+            int rc = node_write_back_downgraded(s, node, block);
+            if (rc) return rc;
+            /* the writeback may not move this set's ways (it only touches
+             * AM state), so `way` stays valid */
+        }
+        slc->states[set * slc->assoc + way] = ST_CLEAN_SHARED;
+    }
+    cadd(s, node, C_INCLUSION_DOWNGRADES, 1);
+    return 0;
+}
+
+/* dispatcher mirroring Machine._inclusion_hook actions */
+#define INCLUSION_INVALIDATE 0
+#define INCLUSION_DOWNGRADE 1
+
+static int inclusion(FastSim *s, int node, int64_t proto_block, int action) {
+    if (action == INCLUSION_INVALIDATE) return inclusion_invalidate(s, node, proto_block);
+    return inclusion_downgrade(s, node, proto_block);
+}
+
+/* ------------------------------------------------------------------ */
+/* attraction-memory helpers                                           */
+/* ------------------------------------------------------------------ */
+static inline uint8_t am_state_of(FastSim *s, int node, int64_t addr) {
+    Lru *am = &s->am[node];
+    int64_t block = addr & s->am_block_mask;
+    int64_t set = lru_set_of(am, block);
+    int way = lru_find(am, set, block);
+    return way < 0 ? AM_INVALID : am->states[set * am->assoc + way];
+}
+
+/* AttractionMemory.lookup: counts + LRU touch */
+static uint8_t am_lookup(FastSim *s, int node, int64_t block) {
+    Lru *am = &s->am[node];
+    int64_t set = lru_set_of(am, block);
+    int way = lru_find(am, set, block);
+    if (way < 0) {
+        am->misses++;
+        return AM_INVALID;
+    }
+    am->hits++;
+    uint8_t state = am->states[set * am->assoc + way];
+    lru_touch(am, set, way);
+    return state;
+}
+
+/* AttractionMemory.set_state on a resident block (state != INVALID) */
+static int am_set_state(FastSim *s, int node, int64_t addr, uint8_t state) {
+    Lru *am = &s->am[node];
+    int64_t block = addr & s->am_block_mask;
+    int64_t set = lru_set_of(am, block);
+    int way = lru_find(am, set, block);
+    if (way < 0) return FS_ERR_PROTOCOL;
+    am->states[set * am->assoc + way] = state;
+    return 0;
+}
+
+/* AttractionMemory.install (caller made room; block absent) */
+static int am_install(FastSim *s, int node, int64_t block, uint8_t state) {
+    Lru *am = &s->am[node];
+    int64_t set = lru_set_of(am, block);
+    int way = lru_find(am, set, block);
+    if (way >= 0) {
+        lru_touch(am, set, way);
+        am->states[set * am->assoc + am->count[set] - 1] = state;
+        return 0;
+    }
+    if (am->count[set] >= am->assoc) return FS_ERR_PROTOCOL;
+    lru_append(am, set, block, state);
+    return 0;
+}
+
+/* AttractionMemory.invalidate: returns 1 when the block was present */
+static int am_invalidate(FastSim *s, int node, int64_t block) {
+    Lru *am = &s->am[node];
+    int64_t set = lru_set_of(am, block);
+    int way = lru_find(am, set, block);
+    if (way < 0) return 0;
+    lru_remove_at(am, set, way);
+    return 1;
+}
+
+/* ------------------------------------------------------------------ */
+/* protocol engine                                                     */
+/* ------------------------------------------------------------------ */
+static int invalidate_copy(FastSim *s, int node, int64_t block) {
+    if (am_invalidate(s, node, block)) {
+        return inclusion(s, node, block, INCLUSION_INVALIDATE);
+    }
+    return 0;
+}
+
+/* returns the done time or negative error */
+static int64_t invalidate_holders(FastSim *s, int64_t slot, int64_t block, int home,
+                                  int exclude, int64_t start) {
+    Dir *d = &s->dir;
+    int64_t done = start;
+    int64_t count = 0;
+    int owner = d->owner[slot];
+    uint64_t owner_cleared = 0;
+    for (int n = 0; n < (int)s->nodes; n++) {
+        int holder = sharers_has(d, slot, n) || (owner >= 0 && owner == n);
+        if (!holder || n == exclude) continue;
+        int64_t arrive = xfer(s, MSG_INVALIDATE, home, n, start);
+        int rc = invalidate_copy(s, n, block);
+        if (rc) return rc;
+        int64_t ack = xfer(s, MSG_ACK, n, home, arrive);
+        if (ack > done) done = ack;
+        sharers_clear_bit(d, slot, n);
+        if (owner >= 0 && owner == n) owner_cleared = 1;
+        count++;
+    }
+    if (owner_cleared) d->owner[slot] = -1;
+    gadd(s, G_INVALIDATIONS, count);
+    return done;
+}
+
+static int inject(FastSim *s, int src, int64_t block, uint8_t state, int64_t now);
+
+static int make_room(FastSim *s, int node, int64_t block, int64_t now) {
+    Lru *am = &s->am[node];
+    int64_t set = lru_set_of(am, block);
+    if (am->count[set] < am->assoc) return 0;
+    /* choose_victim: LRU Shared replica, else LRU master (way 0) */
+    int way = -1;
+    uint8_t vstate = AM_INVALID;
+    int n = am->count[set];
+    uint8_t *states = am->states + set * am->assoc;
+    for (int i = 0; i < n; i++) {
+        if (states[i] == AM_SHARED) {
+            way = i;
+            vstate = AM_SHARED;
+            break;
+        }
+    }
+    if (way < 0) {
+        way = 0;
+        vstate = states[0];
+    }
+    int64_t victim = am->blocks[set * am->assoc + way];
+    lru_remove_at(am, set, way);
+    int rc = inclusion(s, node, victim, INCLUSION_INVALIDATE);
+    if (rc) return rc;
+    if (vstate == AM_SHARED) {
+        int vhome = home_of(s, victim);
+        (void)xfer(s, MSG_SHARER_DROP, node, vhome, now);
+        int64_t slot = map_get(&s->dir.index, victim);
+        if (slot >= 0) sharers_clear_bit(&s->dir, slot, node);
+        gadd(s, G_SHARER_DROPS, 1);
+        return 0;
+    }
+    return inject(s, node, victim, vstate, now);
+}
+
+static int accept_injection(FastSim *s, int target, int64_t block, uint8_t state,
+                            int64_t slot, int home_rules) {
+    uint8_t resident = am_state_of(s, target, block);
+    if (resident == AM_SHARED) {
+        int rc = am_set_state(s, target, block, AM_MASTER_SHARED);
+        if (rc) return rc;
+        sharers_clear_bit(&s->dir, slot, target);
+        s->dir.owner[slot] = target;
+        gadd(s, G_INJECT_MERGES, 1);
+        return 1;
+    }
+    Lru *am = &s->am[target];
+    int64_t set = lru_set_of(am, block);
+    if (am->count[set] < am->assoc) {
+        int rc = am_install(s, target, block, state);
+        if (rc) return rc;
+        s->dir.owner[slot] = target;
+        return 1;
+    }
+    if (home_rules) return 0;
+    /* droppable_victim: first Shared in LRU order */
+    int n = am->count[set];
+    uint8_t *states = am->states + set * am->assoc;
+    int way = -1;
+    for (int i = 0; i < n; i++) {
+        if (states[i] == AM_SHARED) {
+            way = i;
+            break;
+        }
+    }
+    if (way < 0) return 0;
+    int64_t dropped = am->blocks[set * am->assoc + way];
+    lru_remove_at(am, set, way);
+    int rc = inclusion(s, target, dropped, INCLUSION_INVALIDATE);
+    if (rc) return rc;
+    int64_t dslot = map_get(&s->dir.index, dropped);
+    if (dslot >= 0) sharers_clear_bit(&s->dir, dslot, target);
+    gadd(s, G_INJECT_DISPLACEMENTS, 1);
+    rc = am_install(s, target, block, state);
+    if (rc) return rc;
+    s->dir.owner[slot] = target;
+    return 1;
+}
+
+static int inject(FastSim *s, int src, int64_t block, uint8_t state, int64_t now) {
+    gadd(s, G_INJECTIONS, 1);
+    int home = home_of(s, block);
+    int64_t t = xfer(s, MSG_INJECT, src, home, now);
+    t += dir_lookup_cycles(s, home, block, 1);
+    int64_t slot = dir_entry(s, home, block);
+    if (slot < 0) return (int)slot;
+    if (home != src) {
+        int rc = accept_injection(s, home, block, state, slot, 1);
+        if (rc < 0) return rc;
+        if (rc) return 0;
+    }
+    int m = 0;
+    for (int n = 0; n < (int)s->nodes; n++) {
+        if (n != src && n != home) s->cand[m++] = n;
+    }
+    mt_shuffle(&s->engine_rng, s->cand, m);
+    int prev = home;
+    for (int i = 0; i < m; i++) {
+        t = xfer(s, MSG_INJECT_FORWARD, prev, s->cand[i], t);
+        gadd(s, G_INJECT_FORWARDS, 1);
+        prev = s->cand[i];
+        int rc = accept_injection(s, s->cand[i], block, state, slot, 0);
+        if (rc < 0) return rc;
+        if (rc) return 0;
+    }
+    /* overflow handlers are a scalar-path feature; the fast path is
+     * gated off machines that wire one */
+    return FS_ERR_CAPACITY;
+}
+
+/* returns stall cycles beyond the AM lookup, or negative error */
+static int64_t remote_fetch(FastSim *s, int node, int64_t block, int is_write, int64_t now) {
+    gadd(s, is_write ? G_REMOTE_WRITES : G_REMOTE_READS, 1);
+    int64_t penalty = 0;
+    if (s->tap == TAP_L3) penalty = translate(s, node, block >> s->page_bits);
+    s->translation_accum += penalty;
+    int home = home_of(s, block);
+    int64_t t = now + penalty;
+    t = xfer(s, is_write ? MSG_WRITE_REQUEST : MSG_READ_REQUEST, node, home, t);
+    t += dir_lookup_cycles(s, home, block, 0);
+    int64_t slot = dir_entry(s, home, block);
+    if (slot < 0) return slot;
+    int owner = s->dir.owner[slot];
+    if (owner < 0) return FS_ERR_PROTOCOL; /* no master copy */
+    if (owner == node) return FS_ERR_PROTOCOL; /* missed on own master */
+
+    if (is_write) {
+        t = invalidate_holders(s, slot, block, home, node, t);
+        if (t < 0) return t;
+        int supplier = owner;
+        if (supplier == home) {
+            t += s->am_hit;
+        } else {
+            t = xfer(s, MSG_FORWARD, home, supplier, t);
+            t += s->am_hit;
+        }
+        t = xfer(s, MSG_BLOCK_REPLY, supplier, node, t);
+        int rc = make_room(s, node, block, now);
+        if (rc) return rc;
+        slot = map_get(&s->dir.index, block); /* re-find: inject may rehash */
+        rc = am_install(s, node, block, AM_EXCLUSIVE);
+        if (rc) return rc;
+        s->dir.owner[slot] = node;
+        sharers_zero(&s->dir, slot);
+    } else {
+        int supplier = owner;
+        if (supplier == home) {
+            t += s->am_hit;
+        } else {
+            t = xfer(s, MSG_FORWARD, home, supplier, t);
+            t += s->am_hit;
+        }
+        if (am_state_of(s, supplier, block) == AM_EXCLUSIVE) {
+            int rc = am_set_state(s, supplier, block, AM_MASTER_SHARED);
+            if (rc) return rc;
+            rc = inclusion(s, supplier, block, INCLUSION_DOWNGRADE);
+            if (rc) return rc;
+        }
+        t = xfer(s, MSG_BLOCK_REPLY, supplier, node, t);
+        int rc = make_room(s, node, block, now);
+        if (rc) return rc;
+        slot = map_get(&s->dir.index, block);
+        rc = am_install(s, node, block, AM_SHARED);
+        if (rc) return rc;
+        sharers_add(&s->dir, slot, node);
+    }
+    return t - now;
+}
+
+static int64_t upgrade(FastSim *s, int node, int64_t block, int64_t now) {
+    gadd(s, G_UPGRADES, 1);
+    int64_t penalty = 0;
+    if (s->tap == TAP_L3) penalty = translate(s, node, block >> s->page_bits);
+    s->translation_accum += penalty;
+    int home = home_of(s, block);
+    int64_t t = now + penalty;
+    t = xfer(s, MSG_UPGRADE_REQUEST, node, home, t);
+    t += dir_lookup_cycles(s, home, block, 0);
+    int64_t slot = dir_entry(s, home, block);
+    if (slot < 0) return slot;
+    if (s->dir.owner[slot] < 0) return FS_ERR_PROTOCOL;
+    t = invalidate_holders(s, slot, block, home, node, t);
+    if (t < 0) return t;
+    t = xfer(s, MSG_ACK, home, node, t);
+    s->dir.owner[slot] = node;
+    sharers_zero(&s->dir, slot);
+    int rc = am_set_state(s, node, block, AM_EXCLUSIVE);
+    if (rc) return rc;
+    return t - now;
+}
+
+/* ProtocolEngine._fetch; *remote / *translation are the outcome fields */
+static int64_t engine_fetch(FastSim *s, int node, int64_t addr, int is_write, int64_t now,
+                            int *remote, int64_t *translation) {
+    int64_t block = addr & s->am_block_mask;
+    s->translation_accum = 0;
+    s->active_block = block;
+    uint8_t state = am_lookup(s, node, block);
+    if (state != AM_INVALID) {
+        if (!is_write || state == AM_EXCLUSIVE) {
+            gadd(s, G_AM_LOCAL_HITS, 1);
+            *remote = 0;
+            *translation = 0;
+            return s->am_hit;
+        }
+        int64_t up = upgrade(s, node, block, now);
+        if (up < 0) return up;
+        *remote = 1;
+        *translation = s->translation_accum;
+        return s->am_hit + up;
+    }
+    int64_t rf = remote_fetch(s, node, block, is_write, now);
+    if (rf < 0) return rf;
+    *remote = 1;
+    *translation = s->translation_accum;
+    return s->am_hit + rf;
+}
+
+/* ProtocolEngine._upgrade_for_write */
+static int64_t engine_upgrade_for_write(FastSim *s, int node, int64_t addr, int64_t now,
+                                        int *remote, int64_t *translation) {
+    int64_t block = addr & s->am_block_mask;
+    s->translation_accum = 0;
+    s->active_block = block;
+    uint8_t state = am_lookup(s, node, block);
+    if (state == AM_INVALID) return FS_ERR_PROTOCOL; /* SLC/AM inclusion violated */
+    if (state == AM_EXCLUSIVE) {
+        gadd(s, G_AM_LOCAL_HITS, 1);
+        *remote = 0;
+        *translation = 0;
+        return s->am_hit;
+    }
+    int64_t up = upgrade(s, node, block, now);
+    if (up < 0) return up;
+    *remote = 1;
+    *translation = s->translation_accum;
+    return s->am_hit + up;
+}
+
+/* ------------------------------------------------------------------ */
+/* the node (Node._process + fills + attribution)                      */
+/* ------------------------------------------------------------------ */
+static int node_fill_flc(FastSim *s, int node, int64_t flc_addr) {
+    Lru *flc = &s->flc[node];
+    int64_t block = flc_addr & flc->block_mask;
+    int64_t set = lru_set_of(flc, block);
+    int way = lru_find(flc, set, block);
+    if (way >= 0) {
+        /* refresh; FLC state is always CLEAN_SHARED so max() is a no-op */
+        lru_touch(flc, set, way);
+        return 0;
+    }
+    if (flc->count[set] >= flc->assoc) {
+        lru_remove_at(flc, set, 0); /* victims always clean */
+    }
+    lru_append(flc, set, block, ST_CLEAN_SHARED);
+    return 0;
+}
+
+static int node_fill_slc(FastSim *s, int node, int64_t slc_addr, int64_t proto_addr, int dirty) {
+    uint8_t state;
+    if (dirty) {
+        state = ST_DIRTY;
+    } else {
+        state = (am_state_of(s, node, proto_addr) == AM_EXCLUSIVE) ? ST_CLEAN_EXCLUSIVE
+                                                                   : ST_CLEAN_SHARED;
+    }
+    Lru *slc = &s->slc[node];
+    int64_t block = slc_addr & slc->block_mask;
+    int64_t set = lru_set_of(slc, block);
+    int way = lru_find(slc, set, block);
+    if (way >= 0) {
+        uint8_t old = slc->states[set * slc->assoc + way];
+        lru_touch(slc, set, way);
+        slc->states[set * slc->assoc + slc->count[set] - 1] = old > state ? old : state;
+        return 0;
+    }
+    int64_t victim_block = 0;
+    uint8_t victim_state = 0;
+    int have_victim = 0;
+    if (slc->count[set] >= slc->assoc) {
+        victim_block = slc->blocks[set * slc->assoc];
+        victim_state = slc->states[set * slc->assoc];
+        lru_remove_at(slc, set, 0);
+        have_victim = 1;
+    }
+    lru_append(slc, set, block, state);
+    if (!have_victim) return 0;
+    int err = 0;
+    int64_t flc_base = slc_to_flc(s, victim_block, &err);
+    if (err) return err;
+    Lru *flc = &s->flc[node];
+    lru_invalidate_span(flc, flc_base, 1LL << slc->block_shift, 1LL << flc->block_shift);
+    if (victim_state == ST_DIRTY) {
+        return node_write_back(s, node, victim_block);
+    }
+    return 0;
+}
+
+/* Node._process: returns stall + tlb cycles or negative error */
+static int64_t node_process(FastSim *s, int node, int is_write, int64_t vaddr, int64_t now) {
+    int err = 0;
+    int64_t vpn = vaddr >> s->page_bits;
+    int64_t tlb = 0;
+    if (s->tap == TAP_L0) tlb += translate(s, node, vpn);
+    int64_t paddr = s->needs_physical ? to_phys(s, vaddr, &err) : vaddr;
+    if (err) return err;
+    int64_t flc_addr = s->virtual_flc ? vaddr : paddr;
+    int64_t slc_addr = s->virtual_slc ? vaddr : paddr;
+    int64_t proto_addr = s->virtual_am ? vaddr : paddr;
+    int64_t stall = 0;
+
+    Lru *flc = &s->flc[node];
+    Lru *slc = &s->slc[node];
+
+    if (!is_write) {
+        cadd(s, node, C_READS, 1);
+        /* flc.lookup */
+        int64_t fblock = flc_addr & flc->block_mask;
+        int64_t fset = lru_set_of(flc, fblock);
+        int fway = lru_find(flc, fset, fblock);
+        if (fway >= 0) {
+            flc->hits++;
+            lru_touch(flc, fset, fway);
+        } else {
+            flc->misses++;
+            if (s->tap == TAP_L1) tlb += translate(s, node, vpn);
+            /* slc.lookup */
+            int64_t sblock = slc_addr & slc->block_mask;
+            int64_t sset = lru_set_of(slc, sblock);
+            int sway = lru_find(slc, sset, sblock);
+            if (sway >= 0) {
+                slc->hits++;
+                lru_touch(slc, sset, sway);
+                stall += s->slc_hit;
+                s->loc_stall[node] += s->slc_hit;
+            } else {
+                slc->misses++;
+                if (s->tap == TAP_L2) tlb += translate(s, node, vpn);
+                int remote = 0;
+                int64_t translation = 0;
+                int64_t cycles = engine_fetch(s, node, proto_addr, 0, now + stall + tlb,
+                                              &remote, &translation);
+                if (cycles < 0) return cycles;
+                stall += cycles;
+                /* _attribute */
+                s->tlb_stall[node] += translation;
+                if (remote) {
+                    s->rem_stall[node] += cycles - translation;
+                    cadd(s, node, C_REMOTE_ACCESSES, 1);
+                } else {
+                    s->loc_stall[node] += cycles - translation;
+                    cadd(s, node, C_AM_LOCAL_ACCESSES, 1);
+                }
+                int rc = node_fill_slc(s, node, slc_addr, proto_addr, 0);
+                if (rc) return rc;
+            }
+            int rc = node_fill_flc(s, node, flc_addr);
+            if (rc) return rc;
+        }
+    } else {
+        cadd(s, node, C_WRITES, 1);
+        /* flc.lookup: write-through, no-write-allocate */
+        int64_t fblock = flc_addr & flc->block_mask;
+        int64_t fset = lru_set_of(flc, fblock);
+        int fway = lru_find(flc, fset, fblock);
+        if (fway >= 0) {
+            flc->hits++;
+            lru_touch(flc, fset, fway);
+        } else {
+            flc->misses++;
+        }
+        if (s->tap == TAP_L1) tlb += translate(s, node, vpn);
+        /* slc.state_of + lookup */
+        int64_t sblock = slc_addr & slc->block_mask;
+        int64_t sset = lru_set_of(slc, sblock);
+        int sway = lru_find(slc, sset, sblock);
+        if (sway < 0) {
+            slc->misses++; /* slc.lookup counting the miss */
+            if (s->tap == TAP_L2) tlb += translate(s, node, vpn);
+            int remote = 0;
+            int64_t translation = 0;
+            int64_t cycles = engine_fetch(s, node, proto_addr, 1, now + stall + tlb,
+                                          &remote, &translation);
+            if (cycles < 0) return cycles;
+            stall += cycles;
+            s->tlb_stall[node] += translation;
+            if (remote) {
+                s->rem_stall[node] += cycles - translation;
+                cadd(s, node, C_REMOTE_ACCESSES, 1);
+            } else {
+                s->loc_stall[node] += cycles - translation;
+                cadd(s, node, C_AM_LOCAL_ACCESSES, 1);
+            }
+            int rc = node_fill_slc(s, node, slc_addr, proto_addr, 1);
+            if (rc) return rc;
+        } else {
+            uint8_t state = slc->states[sset * slc->assoc + sway];
+            slc->hits++; /* slc.lookup hit (refresh LRU) */
+            lru_touch(slc, sset, sway);
+            sway = slc->count[sset] - 1; /* now at the back */
+            stall += s->slc_hit;
+            s->loc_stall[node] += s->slc_hit;
+            if (state == ST_CLEAN_SHARED) {
+                if (s->tap == TAP_L2) tlb += translate(s, node, vpn);
+                int remote = 0;
+                int64_t translation = 0;
+                int64_t cycles = engine_upgrade_for_write(s, node, proto_addr,
+                                                          now + stall + tlb, &remote,
+                                                          &translation);
+                if (cycles < 0) return cycles;
+                stall += cycles;
+                s->tlb_stall[node] += translation;
+                if (remote) {
+                    s->rem_stall[node] += cycles - translation;
+                    cadd(s, node, C_REMOTE_ACCESSES, 1);
+                } else {
+                    s->loc_stall[node] += cycles - translation;
+                    cadd(s, node, C_AM_LOCAL_ACCESSES, 1);
+                }
+                /* protocol work never moves this node's SLC ways */
+            }
+            slc->states[sset * slc->assoc + sway] = ST_DIRTY;
+        }
+    }
+    s->tlb_stall[node] += tlb;
+    return stall + tlb;
+}
+
+/* Node.reference: histogram + relaxed-store handling */
+static int64_t node_reference(FastSim *s, int node, int is_write, int64_t vaddr, int64_t now) {
+    if (is_write && s->relaxed) {
+        int64_t loc = s->loc_stall[node];
+        int64_t rem = s->rem_stall[node];
+        int64_t tlb = s->tlb_stall[node];
+        int64_t cycles = node_process(s, node, 1, vaddr, now);
+        if (cycles < 0) return cycles;
+        s->loc_stall[node] = loc;
+        s->rem_stall[node] = rem;
+        s->tlb_stall[node] = tlb;
+        cadd(s, node, C_HIDDEN_STORE_CYCLES, cycles);
+        hist_record(s->wh_buckets + node * N_HIST_BUCKETS, &s->wh_count[node],
+                    &s->wh_total[node], 0);
+        return 0;
+    }
+    int64_t cycles = node_process(s, node, is_write, vaddr, now);
+    if (cycles < 0) return cycles;
+    if (is_write) {
+        hist_record(s->wh_buckets + node * N_HIST_BUCKETS, &s->wh_count[node],
+                    &s->wh_total[node], cycles);
+    } else {
+        hist_record(s->rh_buckets + node * N_HIST_BUCKETS, &s->rh_count[node],
+                    &s->rh_total[node], cycles);
+    }
+    return cycles;
+}
+
+/* ------------------------------------------------------------------ */
+/* public API                                                          */
+/* ------------------------------------------------------------------ */
+FastSim *fs_create(const int64_t *geom) {
+    FastSim *s = (FastSim *)calloc(1, sizeof(FastSim));
+    if (!s) return 0;
+    s->nodes = geom[GEOM_NODES];
+    s->think = geom[GEOM_THINK];
+    s->page_bits = (int)geom[GEOM_PAGE_BITS];
+    s->block_bits = (int)geom[GEOM_BLOCK_BITS];
+    s->node_bits = bit_length32((uint32_t)s->nodes) - 1;
+    s->page_mask = (1LL << s->page_bits) - 1;
+    s->node_mask = s->nodes - 1;
+    s->am_block = geom[GEOM_AM_BLOCK];
+    s->am_block_mask = ~(s->am_block - 1);
+    s->slc_hit = geom[GEOM_SLC_HIT];
+    s->am_hit = geom[GEOM_AM_HIT];
+    s->req_cycles = geom[GEOM_REQ_CYCLES];
+    s->blk_cycles = geom[GEOM_BLK_CYCLES];
+    s->dir_latency = geom[GEOM_DIR_LATENCY];
+    s->penalty = geom[GEOM_PENALTY];
+    s->req_payload = geom[GEOM_REQ_PAYLOAD];
+    s->blk_payload = geom[GEOM_BLK_PAYLOAD];
+    s->virtual_flc = (int)geom[GEOM_VIRTUAL_FLC];
+    s->virtual_slc = (int)geom[GEOM_VIRTUAL_SLC];
+    s->virtual_am = (int)geom[GEOM_VIRTUAL_AM];
+    s->needs_physical = !(s->virtual_flc && s->virtual_slc && s->virtual_am);
+    s->relaxed = (int)geom[GEOM_RELAXED];
+    s->tap = (int)geom[GEOM_TAP];
+    s->include_l2_wb = (int)geom[GEOM_INCLUDE_L2_WB];
+    s->max_refs = geom[GEOM_MAX_REFS];
+
+    int64_t nodes = s->nodes;
+    s->flc = (Lru *)calloc(nodes, sizeof(Lru));
+    s->slc = (Lru *)calloc(nodes, sizeof(Lru));
+    s->am = (Lru *)calloc(nodes, sizeof(Lru));
+    s->dir_lookups = (int64_t *)calloc(nodes, sizeof(int64_t));
+    s->node_ctr = (int64_t *)calloc(nodes * N_NODE_CTR, sizeof(int64_t));
+    s->node_calls = (int64_t *)calloc(nodes * N_NODE_CTR, sizeof(int64_t));
+    s->loc_stall = (int64_t *)calloc(nodes, sizeof(int64_t));
+    s->rem_stall = (int64_t *)calloc(nodes, sizeof(int64_t));
+    s->tlb_stall = (int64_t *)calloc(nodes, sizeof(int64_t));
+    s->rh_buckets = (int64_t *)calloc(nodes * N_HIST_BUCKETS, sizeof(int64_t));
+    s->wh_buckets = (int64_t *)calloc(nodes * N_HIST_BUCKETS, sizeof(int64_t));
+    s->rh_count = (int64_t *)calloc(nodes, sizeof(int64_t));
+    s->rh_total = (int64_t *)calloc(nodes, sizeof(int64_t));
+    s->wh_count = (int64_t *)calloc(nodes, sizeof(int64_t));
+    s->wh_total = (int64_t *)calloc(nodes, sizeof(int64_t));
+    s->ops = (const uint8_t **)calloc(nodes, sizeof(void *));
+    s->vals = (const int64_t **)calloc(nodes, sizeof(void *));
+    s->slen = (int64_t *)calloc(nodes, sizeof(int64_t));
+    s->pos = (int64_t *)calloc(nodes, sizeof(int64_t));
+    s->clock = (int64_t *)calloc(nodes, sizeof(int64_t));
+    s->refs_done = (int64_t *)calloc(nodes, sizeof(int64_t));
+    s->finished = (uint8_t *)calloc(nodes, sizeof(uint8_t));
+    s->cand = (int32_t *)calloc(nodes, sizeof(int32_t));
+    if (!s->flc || !s->slc || !s->am || !s->cand) return 0;
+
+    for (int64_t n = 0; n < nodes; n++) {
+        if (lru_init(&s->flc[n], geom[GEOM_FLC_SETS], geom[GEOM_FLC_ASSOC], geom[GEOM_FLC_BLOCK]))
+            return 0;
+        if (lru_init(&s->slc[n], geom[GEOM_SLC_SETS], geom[GEOM_SLC_ASSOC], geom[GEOM_SLC_BLOCK]))
+            return 0;
+        if (lru_init(&s->am[n], geom[GEOM_AM_SETS], geom[GEOM_AM_ASSOC], s->am_block))
+            return 0;
+    }
+    int swords = (int)((nodes + 63) / 64);
+    if (dir_init(&s->dir, geom[GEOM_DIR_CAPACITY], swords)) return 0;
+    if (map_init(&s->vpn2pfn, geom[GEOM_MAP_CAPACITY])) return 0;
+    if (map_init(&s->pfn2vpn, geom[GEOM_MAP_CAPACITY])) return 0;
+
+    s->ntlb = 0;
+    if (s->tap != TAP_NONE) {
+        s->ntlb = (int)nodes;
+        s->tlbs = (Tlb *)calloc(s->ntlb, sizeof(Tlb));
+        if (!s->tlbs) return 0;
+        for (int i = 0; i < s->ntlb; i++) {
+            if (tlb_init(&s->tlbs[i], geom[GEOM_TLB_ENTRIES], geom[GEOM_TLB_SETS],
+                         geom[GEOM_TLB_ASSOC]))
+                return 0;
+        }
+    }
+    if (heap_init(&s->heap, (int)(nodes * 2 + 8))) return 0;
+    for (int64_t n = 0; n < nodes; n++) {
+        heap_push(&s->heap, 0, (int32_t)n);
+    }
+    s->active_block = -1;
+    return s;
+}
+
+void fs_destroy(FastSim *s) {
+    if (!s) return;
+    for (int64_t n = 0; n < s->nodes; n++) {
+        lru_free(&s->flc[n]);
+        lru_free(&s->slc[n]);
+        lru_free(&s->am[n]);
+    }
+    free(s->flc);
+    free(s->slc);
+    free(s->am);
+    dir_free(&s->dir);
+    map_free(&s->vpn2pfn);
+    map_free(&s->pfn2vpn);
+    if (s->tlbs) {
+        for (int i = 0; i < s->ntlb; i++) tlb_free(&s->tlbs[i]);
+        free(s->tlbs);
+    }
+    heap_free(&s->heap);
+    free(s->dir_lookups);
+    free(s->node_ctr);
+    free(s->node_calls);
+    free(s->loc_stall);
+    free(s->rem_stall);
+    free(s->tlb_stall);
+    free(s->rh_buckets);
+    free(s->wh_buckets);
+    free(s->rh_count);
+    free(s->rh_total);
+    free(s->wh_count);
+    free(s->wh_total);
+    free(s->ops);
+    free(s->vals);
+    free(s->slen);
+    free(s->pos);
+    free(s->clock);
+    free(s->refs_done);
+    free(s->finished);
+    free(s->cand);
+    free(s);
+}
+
+/* ---- snapshot loading ---- */
+void fs_set_stream(FastSim *s, int node, const uint8_t *ops, const int64_t *vals, int64_t len) {
+    s->ops[node] = ops;
+    s->vals[node] = vals;
+    s->slen[node] = len;
+}
+
+int fs_pagemap_add(FastSim *s, int64_t vpn, int64_t pfn) {
+    if (map_put(&s->vpn2pfn, vpn, pfn)) return FS_ERR_INTERNAL;
+    if (map_put(&s->pfn2vpn, pfn, vpn)) return FS_ERR_INTERNAL;
+    return 0;
+}
+
+int fs_am_load(FastSim *s, int node, int64_t block, int state) {
+    Lru *am = &s->am[node];
+    int64_t set = lru_set_of(am, block);
+    if (am->count[set] >= am->assoc) return FS_ERR_INTERNAL;
+    lru_append(am, set, block, (uint8_t)state);
+    return 0;
+}
+
+int fs_dir_load(FastSim *s, int64_t block, int owner, const uint64_t *sharer_words) {
+    int64_t slot = dir_entry_slot(&s->dir, block);
+    if (slot < 0) return (int)slot;
+    s->dir.owner[slot] = owner;
+    memcpy(s->dir.sharers + slot * s->dir.swords, sharer_words,
+           s->dir.swords * sizeof(uint64_t));
+    return 0;
+}
+
+void fs_seed_engine(FastSim *s, const uint32_t *state) {
+    mt_load(&s->engine_rng, state);
+}
+
+void fs_seed_tlb(FastSim *s, int idx, const uint32_t *state) {
+    mt_load(&s->tlbs[idx].rng, state);
+}
+
+/* ---- run control ---- */
+int fs_run(FastSim *s, int64_t *out) {
+    Heap *h = &s->heap;
+    const int64_t think = s->think;
+    while (h->len) {
+        int64_t now;
+        int32_t n;
+        heap_pop(h, &now, &n);
+        if (s->finished[n]) continue;
+        if (s->max_refs >= 0 && s->refs_done[n] >= s->max_refs) {
+            out[0] = n;
+            out[1] = now;
+            return FS_NEED_FINISH;
+        }
+        if (s->pos[n] >= s->slen[n]) {
+            out[0] = n;
+            out[1] = now;
+            return FS_NEED_FINISH;
+        }
+        uint8_t op = s->ops[n][s->pos[n]];
+        if (op <= 1) {
+            int64_t value = s->vals[n][s->pos[n]];
+            s->pos[n]++;
+            int64_t stall = node_reference(s, n, op, value, now + think);
+            if (stall < 0) return (int)stall;
+            int64_t t = now + think + stall;
+            s->clock[n] = t;
+            s->refs_done[n]++;
+            if (heap_push(h, t, n)) return FS_ERR_INTERNAL;
+        } else {
+            out[0] = n;
+            out[1] = now;
+            out[2] = op;
+            out[3] = s->vals[n][s->pos[n]];
+            return FS_SYNC;
+        }
+    }
+    return FS_DONE;
+}
+
+/* lock-word stores from the Python sync handlers */
+int64_t fs_reference(FastSim *s, int node, int is_write, int64_t vaddr, int64_t now) {
+    return node_reference(s, node, is_write, vaddr, now);
+}
+
+void fs_consume_op(FastSim *s, int node) { s->pos[node]++; }
+
+void fs_push(FastSim *s, int64_t t, int node) { heap_push(&s->heap, t, (int32_t)node); }
+
+void fs_set_clock(FastSim *s, int node, int64_t t) { s->clock[node] = t; }
+
+int64_t fs_get_clock(FastSim *s, int node) { return s->clock[node]; }
+
+void fs_mark_finished(FastSim *s, int node) { s->finished[node] = 1; }
+
+int64_t fs_refs_done(FastSim *s, int node) { return s->refs_done[node]; }
+
+int64_t fs_pos(FastSim *s, int node) { return s->pos[node]; }
+
+/* ---- copyback accessors ---- */
+void fs_export_global(FastSim *s, int64_t *values, int64_t *calls) {
+    memcpy(values, s->glob, sizeof(s->glob));
+    memcpy(calls, s->glob_calls, sizeof(s->glob_calls));
+}
+
+void fs_export_node_counters(FastSim *s, int node, int64_t *values, int64_t *calls) {
+    memcpy(values, s->node_ctr + node * N_NODE_CTR, N_NODE_CTR * sizeof(int64_t));
+    memcpy(calls, s->node_calls + node * N_NODE_CTR, N_NODE_CTR * sizeof(int64_t));
+}
+
+void fs_export_breakdown(FastSim *s, int node, int64_t *out) {
+    out[0] = s->loc_stall[node];
+    out[1] = s->rem_stall[node];
+    out[2] = s->tlb_stall[node];
+}
+
+void fs_export_hist(FastSim *s, int node, int is_write, int64_t *buckets, int64_t *count_total) {
+    if (is_write) {
+        memcpy(buckets, s->wh_buckets + node * N_HIST_BUCKETS,
+               N_HIST_BUCKETS * sizeof(int64_t));
+        count_total[0] = s->wh_count[node];
+        count_total[1] = s->wh_total[node];
+    } else {
+        memcpy(buckets, s->rh_buckets + node * N_HIST_BUCKETS,
+               N_HIST_BUCKETS * sizeof(int64_t));
+        count_total[0] = s->rh_count[node];
+        count_total[1] = s->rh_total[node];
+    }
+}
+
+/* which: 0 flc, 1 slc, 2 am.  Returns resident count; blocks/states in
+ * set order, LRU order within each set. */
+int64_t fs_export_cache(FastSim *s, int node, int which, int64_t *blocks, uint8_t *states) {
+    Lru *c = which == 0 ? &s->flc[node] : which == 1 ? &s->slc[node] : &s->am[node];
+    int64_t k = 0;
+    for (int64_t set = 0; set < c->sets; set++) {
+        int n = c->count[set];
+        for (int i = 0; i < n; i++) {
+            blocks[k] = c->blocks[set * c->assoc + i];
+            states[k] = c->states[set * c->assoc + i];
+            k++;
+        }
+    }
+    return k;
+}
+
+void fs_cache_stats(FastSim *s, int node, int which, int64_t *out) {
+    Lru *c = which == 0 ? &s->flc[node] : which == 1 ? &s->slc[node] : &s->am[node];
+    out[0] = c->hits;
+    out[1] = c->misses;
+}
+
+int64_t fs_dir_count(FastSim *s) { return s->dir.nentries; }
+
+void fs_export_dir(FastSim *s, int64_t *blocks, int32_t *owners, uint64_t *sharers) {
+    memcpy(blocks, s->dir.blocks, s->dir.nentries * sizeof(int64_t));
+    memcpy(owners, s->dir.owner, s->dir.nentries * sizeof(int32_t));
+    memcpy(sharers, s->dir.sharers, s->dir.nentries * s->dir.swords * sizeof(uint64_t));
+}
+
+void fs_export_dir_lookups(FastSim *s, int64_t *out) {
+    memcpy(out, s->dir_lookups, s->nodes * sizeof(int64_t));
+}
+
+/* tags flat (sets*assoc) + per-set lengths; returns total entries */
+int64_t fs_export_tlb(FastSim *s, int idx, int64_t *tags, int32_t *lens, int64_t *stats) {
+    Tlb *t = &s->tlbs[idx];
+    memcpy(tags, t->tags, t->sets * t->assoc * sizeof(int64_t));
+    memcpy(lens, t->len, t->sets * sizeof(int32_t));
+    stats[0] = t->accesses;
+    stats[1] = t->misses;
+    int64_t total = 0;
+    for (int64_t i = 0; i < t->sets; i++) total += t->len[i];
+    return total;
+}
+
+/* 625 words: mt[624] + index (random.Random setstate layout) */
+void fs_export_engine_rng(FastSim *s, uint32_t *out) {
+    memcpy(out, s->engine_rng.mt, MT_N * sizeof(uint32_t));
+    out[MT_N] = (uint32_t)s->engine_rng.index;
+}
+
+void fs_export_tlb_rng(FastSim *s, int idx, uint32_t *out) {
+    memcpy(out, s->tlbs[idx].rng.mt, MT_N * sizeof(uint32_t));
+    out[MT_N] = (uint32_t)s->tlbs[idx].rng.index;
+}
+
+int64_t fs_translation_accum(FastSim *s) { return s->translation_accum; }
+
+int64_t fs_active_block(FastSim *s) { return s->active_block; }
+
+/* selftest hook: n draws of genrand (== getrandbits(32)) from a
+ * transferred random.Random state */
+void fs_rng_selftest(const uint32_t *state, uint32_t *out, int n) {
+    MT r;
+    mt_load(&r, state);
+    for (int i = 0; i < n; i++) out[i] = mt_genrand(&r);
+}
+
+/* selftest hook: shuffle 0..len-1 in place, matching random.shuffle */
+void fs_shuffle_selftest(const uint32_t *state, int32_t *arr, int len) {
+    MT r;
+    mt_load(&r, state);
+    mt_shuffle(&r, arr, len);
+}
+
+/* ------------------------------------------------------------------ */
+/* trace rendering: packed binary trace records -> JSONL text          */
+/*                                                                     */
+/* The tracer (repro.obs.trace) batches hot records as                 */
+/* [u8 codec_id][n x little-endian int64] and registers, per codec,    */
+/* the literal JSON segments between value slots plus one kind byte    */
+/* per slot: 0 = int, 1 = int rendered as null when negative,          */
+/* 2 = index into a shared string table (enum choices, "true"/"false").*/
+/* Rendering here must be byte-identical to the tracer's Python        */
+/* fallback (and to its generic dict encoder) -- the Python side       */
+/* self-checks every codec against the generic encoder at creation.    */
+/* ------------------------------------------------------------------ */
+
+static char *tr_itoa(char *o, int64_t v) {
+    char tmp[24];
+    int n = 0;
+    uint64_t u = (v < 0) ? (uint64_t)(-(v + 1)) + 1u : (uint64_t)v;
+    if (v < 0) *o++ = '-';
+    do {
+        tmp[n++] = (char)('0' + (u % 10u));
+        u /= 10u;
+    } while (u);
+    while (n) *o++ = tmp[--n];
+    return o;
+}
+
+/* Returns bytes written, -1 if `cap` is too small (caller grows and
+ * retries), -2 on a malformed stream/table. */
+int64_t fs_trace_render(const char *stream_, int64_t nbytes,
+                        const int32_t *nslots, const int32_t *kind_off,
+                        const char *kinds_,
+                        const char *segs, const int64_t *seg_off,
+                        const int32_t *seg_base,
+                        const char *strs, const int64_t *str_off, int64_t nstr,
+                        char *out, int64_t cap) {
+    const uint8_t *p = (const uint8_t *)stream_;
+    const uint8_t *pe = p + nbytes;
+    const uint8_t *kinds = (const uint8_t *)kinds_;
+    char *o = out;
+    char *oe = out + cap;
+    while (p < pe) {
+        int c = *p++;
+        int ns = nslots[c];
+        if (p + 8 * ns > pe) return -2;
+        int kbase = kind_off[c];
+        int sbase = seg_base[c];
+        for (int j = 0; j <= ns; j++) {
+            int64_t s0 = seg_off[sbase + j];
+            int64_t s1 = seg_off[sbase + j + 1];
+            if (o + (s1 - s0) + 24 > oe) return -1;
+            memcpy(o, segs + s0, (size_t)(s1 - s0));
+            o += s1 - s0;
+            if (j == ns) break;
+            int64_t v;
+            memcpy(&v, p, 8); /* stream is little-endian, like the host */
+            p += 8;
+            uint8_t k = kinds[kbase + j];
+            if (k == 2) {
+                if (v < 0 || v >= nstr) return -2;
+                int64_t t0 = str_off[v];
+                int64_t t1 = str_off[v + 1];
+                if (o + (t1 - t0) > oe) return -1;
+                memcpy(o, strs + t0, (size_t)(t1 - t0));
+                o += t1 - t0;
+            } else if (k == 1 && v < 0) {
+                memcpy(o, "null", 4);
+                o += 4;
+            } else {
+                o = tr_itoa(o, v);
+            }
+        }
+    }
+    return o - out;
+}

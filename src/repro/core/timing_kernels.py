@@ -1,0 +1,419 @@
+"""Compiled columnar timing kernels (backend loader + stream columnarization).
+
+The timing path's hot loop — heap-ordered reference interleaving through
+FLC/SLC/AM lookups, protocol transitions, and crossbar charging — is
+irreducibly sequential *between* synchronization points but involves no
+Python-level decisions there: barriers, locks, and stream end are the
+only events where cross-node ordering must consult simulator policy.
+``fastsim.c`` exploits that split.  Each node's reference stream is
+materialized into columnar arrays (one ``uint8`` opcode column, one
+``int64`` value column) and handed to a compiled engine that runs the
+whole machine — heap, caches, attraction memories, directory, TLB/DLB,
+RNG — returning to Python only at sync events.  The scalar engine in
+:mod:`repro.system.simulator` is retained as the differential-testing
+oracle; every counter, breakdown, histogram, cache image, and RNG state
+the compiled engine produces is copied back bit-identically
+(``tests/integration/test_timing_equivalence.py``).
+
+Backend selection mirrors the replay kernels' ``REPRO_NO_NUMPY`` switch:
+
+* The C source is compiled on first use with the host ``gcc`` into a
+  per-user cache directory (``$REPRO_FASTSIM_CACHE`` or
+  ``~/.cache/repro-fastsim``), keyed by a source hash, and loaded
+  through ``cffi``'s ABI mode — no ``Python.h`` or build system needed.
+* ``REPRO_NO_NUMBA`` (historical name, kept for symmetry with the issue
+  tracker) disables the compiled backend entirely; the simulator then
+  falls back to the scalar engine.
+* Missing ``cffi`` or ``gcc`` degrade the same way: ``get_backend()``
+  returns ``None`` and :func:`backend_status` says why.
+"""
+
+from __future__ import annotations
+
+import array
+import hashlib
+import os
+import subprocess
+import tempfile
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.replay import get_numpy
+from repro.system.refs import BARRIER
+
+#: Set non-empty to force the scalar timing engine even when the
+#: compiled backend would load (CI matrix + equivalence tests).
+NO_NUMBA_ENV = "REPRO_NO_NUMBA"
+
+#: Override the shared-library cache directory.
+CACHE_ENV = "REPRO_FASTSIM_CACHE"
+
+_C_SOURCE = os.path.join(os.path.dirname(__file__), "fastsim.c")
+
+# ---------------------------------------------------------------------------
+# C ABI description (must match fastsim.c exactly)
+# ---------------------------------------------------------------------------
+
+CDEF = """
+typedef struct FastSim FastSim;
+
+FastSim *fs_create(const int64_t *geom);
+void fs_destroy(FastSim *s);
+void fs_set_stream(FastSim *s, int node, const uint8_t *ops, const int64_t *vals, int64_t len);
+int fs_pagemap_add(FastSim *s, int64_t vpn, int64_t pfn);
+int fs_am_load(FastSim *s, int node, int64_t block, int state);
+int fs_dir_load(FastSim *s, int64_t block, int owner, const uint64_t *sharer_words);
+void fs_seed_engine(FastSim *s, const uint32_t *state);
+void fs_seed_tlb(FastSim *s, int idx, const uint32_t *state);
+int fs_run(FastSim *s, int64_t *out);
+int64_t fs_reference(FastSim *s, int node, int is_write, int64_t vaddr, int64_t now);
+void fs_consume_op(FastSim *s, int node);
+void fs_push(FastSim *s, int64_t t, int node);
+void fs_set_clock(FastSim *s, int node, int64_t t);
+int64_t fs_get_clock(FastSim *s, int node);
+void fs_mark_finished(FastSim *s, int node);
+int64_t fs_refs_done(FastSim *s, int node);
+int64_t fs_pos(FastSim *s, int node);
+void fs_export_global(FastSim *s, int64_t *values, int64_t *calls);
+void fs_export_node_counters(FastSim *s, int node, int64_t *values, int64_t *calls);
+void fs_export_breakdown(FastSim *s, int node, int64_t *out);
+void fs_export_hist(FastSim *s, int node, int is_write, int64_t *buckets, int64_t *count_total);
+int64_t fs_export_cache(FastSim *s, int node, int which, int64_t *blocks, uint8_t *states);
+void fs_cache_stats(FastSim *s, int node, int which, int64_t *out);
+int64_t fs_dir_count(FastSim *s);
+void fs_export_dir(FastSim *s, int64_t *blocks, int32_t *owners, uint64_t *sharers);
+void fs_export_dir_lookups(FastSim *s, int64_t *out);
+int64_t fs_export_tlb(FastSim *s, int idx, int64_t *tags, int32_t *lens, int64_t *stats);
+void fs_export_engine_rng(FastSim *s, uint32_t *out);
+void fs_export_tlb_rng(FastSim *s, int idx, uint32_t *out);
+int64_t fs_translation_accum(FastSim *s);
+int64_t fs_active_block(FastSim *s);
+void fs_rng_selftest(const uint32_t *state, uint32_t *out, int n);
+void fs_shuffle_selftest(const uint32_t *state, int32_t *arr, int len);
+int64_t fs_trace_render(const char *stream, int64_t nbytes,
+                        const int32_t *nslots, const int32_t *kind_off,
+                        const char *kinds,
+                        const char *segs, const int64_t *seg_off,
+                        const int32_t *seg_base,
+                        const char *strs, const int64_t *str_off, int64_t nstr,
+                        char *out, int64_t cap);
+"""
+
+# fs_run status codes.
+DONE = 0
+SYNC = 1
+NEED_FINISH = 2
+ERR_PROTOCOL = -1
+ERR_CAPACITY = -2
+ERR_KEY = -3
+ERR_INTERNAL = -4
+
+# GEOM vector slots (order of the C enum).
+(
+    GEOM_NODES,
+    GEOM_THINK,
+    GEOM_PAGE_BITS,
+    GEOM_BLOCK_BITS,
+    GEOM_FLC_BLOCK,
+    GEOM_FLC_SETS,
+    GEOM_FLC_ASSOC,
+    GEOM_SLC_BLOCK,
+    GEOM_SLC_SETS,
+    GEOM_SLC_ASSOC,
+    GEOM_AM_SETS,
+    GEOM_AM_ASSOC,
+    GEOM_SLC_HIT,
+    GEOM_AM_HIT,
+    GEOM_REQ_CYCLES,
+    GEOM_BLK_CYCLES,
+    GEOM_DIR_LATENCY,
+    GEOM_PENALTY,
+    GEOM_VIRTUAL_FLC,
+    GEOM_VIRTUAL_SLC,
+    GEOM_VIRTUAL_AM,
+    GEOM_RELAXED,
+    GEOM_TAP,
+    GEOM_INCLUDE_L2_WB,
+    GEOM_TLB_ENTRIES,
+    GEOM_TLB_SETS,
+    GEOM_TLB_ASSOC,
+    GEOM_MAX_REFS,
+    GEOM_AM_BLOCK,
+    GEOM_REQ_PAYLOAD,
+    GEOM_BLK_PAYLOAD,
+    GEOM_DIR_CAPACITY,
+    GEOM_MAP_CAPACITY,
+    GEOM_LEN,
+) = range(34)
+
+# Tap codes (GEOM_TAP slot).
+TAP_NONE = -1
+TAP_L0 = 0
+TAP_L1 = 1
+TAP_L2 = 2
+TAP_L3 = 3
+TAP_HOME = 4
+
+# AM line states, in C numeric order (AMState enum value strings).
+AM_STATES = ("invalid", "shared", "master_shared", "exclusive")
+
+#: Global engine counter names, in C index order (fs_export_global).
+GLOBAL_COUNTERS = (
+    "am_local_hits",
+    "remote_reads",
+    "remote_writes",
+    "upgrades",
+    "invalidations",
+    "injections",
+    "inject_forwards",
+    "inject_merges",
+    "inject_displacements",
+    "sharer_drops",
+    "slc_writebacks_to_am",
+    "msg_read_request",
+    "msg_write_request",
+    "msg_upgrade_request",
+    "msg_forward",
+    "msg_invalidate",
+    "msg_ack",
+    "msg_sharer_drop",
+    "msg_block_reply",
+    "msg_inject",
+    "msg_inject_forward",
+    "msg_local",
+    "msg_remote",
+    "network_cycles",
+    "payload_bytes",
+)
+
+#: Per-node counter names, in C index order (fs_export_node_counters).
+NODE_COUNTERS = (
+    "reads",
+    "writes",
+    "hidden_store_cycles",
+    "remote_accesses",
+    "am_local_accesses",
+    "slc_writebacks",
+    "slc_coherence_writebacks",
+    "inclusion_invalidations",
+    "inclusion_downgrades",
+)
+
+N_HIST_BUCKETS = 64
+RNG_STATE_WORDS = 625  # mt[624] + index, from random.Random.getstate()
+
+# ---------------------------------------------------------------------------
+# backend loading
+# ---------------------------------------------------------------------------
+
+
+class CompiledBackend:
+    """A loaded fastsim shared library plus its cffi FFI."""
+
+    __slots__ = ("ffi", "lib", "path")
+
+    def __init__(self, ffi, lib, path: str) -> None:
+        self.ffi = ffi
+        self.lib = lib
+        self.path = path
+
+
+_backend: Optional[CompiledBackend] = None
+_backend_failure: Optional[str] = None
+_backend_resolved = False
+
+
+def _cache_dir() -> str:
+    override = os.environ.get(CACHE_ENV)
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-fastsim")
+
+
+def _source_digest(source: bytes) -> str:
+    return hashlib.sha256(source).hexdigest()[:16]
+
+
+def _build_library(source_path: str) -> str:
+    """Compile fastsim.c into the cache dir; return the .so path.
+
+    The library name carries a source hash, so edits to the C file
+    force a rebuild while repeated runs reuse the cached binary.  The
+    build lands under a temp name and is moved in with ``os.replace``
+    so concurrent processes can race harmlessly.
+    """
+    with open(source_path, "rb") as handle:
+        source = handle.read()
+    cache = _cache_dir()
+    os.makedirs(cache, exist_ok=True)
+    target = os.path.join(cache, f"fastsim-{_source_digest(source)}.so")
+    if os.path.exists(target):
+        return target
+    fd, tmp = tempfile.mkstemp(suffix=".so", dir=cache)
+    os.close(fd)
+    try:
+        subprocess.run(
+            ["gcc", "-O2", "-shared", "-fPIC", "-o", tmp, source_path],
+            check=True,
+            capture_output=True,
+        )
+        os.replace(tmp, target)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return target
+
+
+def _resolve_backend() -> None:
+    global _backend, _backend_failure, _backend_resolved
+    _backend_resolved = True
+    try:
+        import cffi
+    except ImportError:
+        _backend_failure = "cffi not installed"
+        return
+    if not os.path.exists(_C_SOURCE):
+        _backend_failure = "fastsim.c missing"
+        return
+    try:
+        library = _build_library(_C_SOURCE)
+    except (subprocess.CalledProcessError, FileNotFoundError, OSError) as exc:
+        detail = ""
+        if isinstance(exc, subprocess.CalledProcessError) and exc.stderr:
+            detail = ": " + exc.stderr.decode("utf-8", "replace").strip()[:200]
+        _backend_failure = f"compile failed ({type(exc).__name__}{detail})"
+        return
+    try:
+        ffi = cffi.FFI()
+        ffi.cdef(CDEF)
+        lib = ffi.dlopen(library)
+    except Exception as exc:  # dlopen / cdef problems are all terminal
+        _backend_failure = f"dlopen failed ({exc})"
+        return
+    _backend = CompiledBackend(ffi, lib, library)
+
+
+def get_backend() -> Optional[CompiledBackend]:
+    """The compiled timing backend, or None (disabled / unavailable).
+
+    The environment gate is honored per call — tests flip it at runtime
+    — while the expensive compile/dlopen resolution is cached for the
+    process lifetime.
+    """
+    if os.environ.get(NO_NUMBA_ENV):
+        return None
+    if not _backend_resolved:
+        _resolve_backend()
+    return _backend
+
+
+def backend_status() -> str:
+    """Human-readable availability: "compiled" or a fallback reason."""
+    if os.environ.get(NO_NUMBA_ENV):
+        return f"disabled ({NO_NUMBA_ENV})"
+    if not _backend_resolved:
+        _resolve_backend()
+    if _backend is not None:
+        return "compiled"
+    return _backend_failure or "unavailable"
+
+
+# ---------------------------------------------------------------------------
+# columnar stream materialization
+# ---------------------------------------------------------------------------
+
+
+def materialize_stream(stream: Iterable[Tuple[int, int]]):
+    """Drain one node's ``(op, value)`` stream into columnar arrays.
+
+    Returns ``(ops, values)`` — a ``uint8`` opcode column and an
+    ``int64`` value column, numpy arrays when available and
+    ``array.array`` otherwise.  Both expose the buffer protocol, so the
+    compiled backend ingests either via ``ffi.from_buffer`` with no
+    copies beyond this one materialization pass.
+    """
+    ops_list: List[int] = []
+    vals_list: List[int] = []
+    append_op = ops_list.append
+    append_val = vals_list.append
+    for op, value in stream:
+        append_op(op)
+        append_val(value)
+    numpy = get_numpy()
+    if numpy is not None:
+        count = len(ops_list)
+        ops = numpy.fromiter(ops_list, dtype=numpy.uint8, count=count)
+        vals = numpy.fromiter(vals_list, dtype=numpy.int64, count=count)
+        return ops, vals
+    return array.array("B", ops_list), array.array("q", vals_list)
+
+
+def sync_positions(ops) -> List[int]:
+    """Indices of synchronization opcodes in a columnar op stream."""
+    numpy = get_numpy()
+    if numpy is not None:
+        arr = numpy.asarray(ops, dtype=numpy.uint8)
+        return [int(i) for i in numpy.flatnonzero(arr >= BARRIER)]
+    return [i for i, op in enumerate(ops) if op >= BARRIER]
+
+
+#: Epoch boundary markers for :func:`epoch_spans`.
+EPOCH_END = -1  # stream ran out
+EPOCH_TRUNCATED = -2  # max_refs_per_node cut the stream short
+
+
+def epoch_spans(ops, max_refs: Optional[int] = None) -> List[Tuple[int, int, int]]:
+    """Split a columnar op stream into memory-reference epochs.
+
+    Returns ``(start, stop, boundary)`` triples: ``ops[start:stop]`` are
+    the memory references of one epoch and ``boundary`` is the index of
+    the terminating sync op, :data:`EPOCH_END` when the stream ran out,
+    or :data:`EPOCH_TRUNCATED` when ``max_refs`` memory references were
+    reached first.  Only memory references count toward ``max_refs``,
+    matching the scalar simulator's ``refs_done`` accounting; a sync op
+    sitting exactly at the truncation point is *not* executed (the
+    simulator finishes the node before consuming it).
+    """
+    spans: List[Tuple[int, int, int]] = []
+    total = len(ops)
+    done = 0
+    start = 0
+    for idx in sync_positions(ops):
+        refs_here = idx - start
+        if max_refs is not None and done + refs_here >= max_refs:
+            spans.append((start, start + (max_refs - done), EPOCH_TRUNCATED))
+            return spans
+        done += refs_here
+        spans.append((start, idx, idx))
+        start = idx + 1
+    refs_here = total - start
+    if max_refs is not None and done + refs_here > max_refs:
+        spans.append((start, start + (max_refs - done), EPOCH_TRUNCATED))
+    else:
+        spans.append((start, total, EPOCH_END))
+    return spans
+
+
+# ---------------------------------------------------------------------------
+# RNG state marshalling
+# ---------------------------------------------------------------------------
+
+
+def rng_state_words(rng) -> "array.array":
+    """Flatten ``random.Random.getstate()`` into 625 uint32 words.
+
+    The Mersenne Twister state travels to C verbatim (mt[0..623] plus
+    the stream index), so the compiled engine continues the exact draw
+    sequence with no seeding-algorithm replication.
+    """
+    version, internal, gauss = rng.getstate()
+    if version != 3 or len(internal) != RNG_STATE_WORDS or gauss is not None:
+        raise ValueError("unsupported random.Random state shape")
+    return array.array("I", internal)
+
+
+def load_rng_state(rng, words) -> None:
+    """Install 625 uint32 words back into a ``random.Random``."""
+    state = tuple(words)
+    if len(state) != RNG_STATE_WORDS:
+        raise ValueError("RNG state must be 625 words")
+    rng.setstate((3, state, None))

@@ -24,7 +24,7 @@ from typing import Optional
 
 from repro.common.params import MachineParams
 from repro.common.stats import Counters
-from repro.interconnect.message import MessageKind
+from repro.interconnect.message import KIND_VALUES, MessageKind
 from repro.interconnect.topology import Topology
 
 
@@ -49,8 +49,9 @@ class Crossbar:
         self._port_free_at: List[int] = [0] * params.nodes
         # Per-kind (counter name, base cycles, payload bytes), fixed by
         # the geometry — transfer() is on every message's path and must
-        # not rebuild strings or re-derive sizes.
-        self._kind_info = {}
+        # not rebuild strings or re-derive sizes.  Indexed by
+        # ``kind.index`` (plain list lookup, no Enum hashing).
+        self._kind_info = []
         for kind in MessageKind:
             if kind.carries_block:
                 base = params.block_msg_cycles
@@ -58,11 +59,31 @@ class Crossbar:
             else:
                 base = params.request_msg_cycles
                 payload = params.request_payload_bytes
-            self._kind_info[kind] = (f"msg_{kind.value}", base, payload)
+            self._kind_info.append((f"msg_{kind.value}", base, payload))
         self._counter_values = self.counters._values
-        #: Optional :class:`~repro.obs.trace.Tracer` (set by the
-        #: machine); every transfer becomes a "msg" event when attached.
-        self.trace = None
+        self._trace = None
+        # Packed "msg" emitter, hoisted once when a tracer attaches so
+        # transfer() pays one attribute test when tracing is off and no
+        # per-event dict when it is on.
+        self._emit_msg = None
+
+    @property
+    def trace(self):
+        """Optional :class:`~repro.obs.trace.Tracer` (set by the
+        machine); every transfer becomes a "msg" event when attached."""
+        return self._trace
+
+    @trace.setter
+    def trace(self, tracer) -> None:
+        self._trace = tracer
+        if tracer is None:
+            self._emit_msg = None
+        else:
+            self._emit_msg = tracer.event_emitter(
+                "msg",
+                ("msg", "src", "dst", "cycles"),
+                enums={"msg": KIND_VALUES},
+            )
 
     def cycles_for(self, kind: MessageKind, src: int = 0, dst: int = 1) -> int:
         """Latency of one message in processor cycles (0 if node-local
@@ -83,13 +104,14 @@ class Crossbar:
         are free and bypass the port model.
         """
         values = self._counter_values
-        name, cycles, payload = self._kind_info[kind]
+        kind_ix = kind.index
+        name, cycles, payload = self._kind_info[kind_ix]
         values[name] = values.get(name, 0) + 1
-        trace = self.trace
+        emit = self._emit_msg
         if src == dst:
             values["msg_local"] = values.get("msg_local", 0) + 1
-            if trace is not None:
-                trace.event("msg", now, msg=kind.value, src=src, dst=dst, cycles=0)
+            if emit is not None:
+                emit(now, kind_ix, src, dst, 0)
             return now
         if self.topology is not None:
             extra_hops = self.topology.hops(src, dst) - 1
@@ -97,10 +119,10 @@ class Crossbar:
         values["msg_remote"] = values.get("msg_remote", 0) + 1
         values["network_cycles"] = values.get("network_cycles", 0) + cycles
         values["payload_bytes"] = values.get("payload_bytes", 0) + payload
-        if trace is not None:
+        if emit is not None:
             # The charged latency rides on the event so a trace alone
             # reconciles against the network_cycles counter.
-            trace.event("msg", now, msg=kind.value, src=src, dst=dst, cycles=cycles)
+            emit(now, kind_ix, src, dst, cycles)
         if not self.contention:
             return now + cycles
         start = max(now, self._port_free_at[dst])

@@ -41,6 +41,15 @@ _BLOCK_KINDS = frozenset(
     (MessageKind.BLOCK_REPLY, MessageKind.INJECT, MessageKind.INJECT_FORWARD)
 )
 
+# Dense per-kind index for table lookups on the transfer hot path:
+# list indexing via ``kind.index`` skips Enum.__hash__ (a Python-level
+# method) on every simulated message.
+for _i, _kind in enumerate(MessageKind):
+    _kind.index = _i
+
+#: Wire names in ``index`` order (``KIND_VALUES[kind.index] == kind.value``).
+KIND_VALUES = tuple(kind.value for kind in MessageKind)
+
 
 @dataclass(frozen=True)
 class Message:

@@ -490,6 +490,11 @@ class BatchRunner:
             )
             workers = min(self.jobs, limit)
             self.effective_jobs = max(1, workers)
+            # Record the clamp only when the pool (CPU count, fork
+            # support) bound us, not when there were simply fewer
+            # pending jobs than requested workers.
+            if self.jobs > workers and len(pending) > workers:
+                stats.requested_jobs = self.jobs
             if pending:
                 if workers > 1 and _fork_available():
                     self._run_supervised(pending, workers, record, fail, heartbeat)

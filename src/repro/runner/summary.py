@@ -48,6 +48,9 @@ class GridStats:
     job_seconds: float = 0.0
     #: Worker processes used (1 = in-process).
     workers: int = 1
+    #: Worker processes the caller asked for (``--jobs``), before the
+    #: runner clamped to the machine's CPU count.  0 = not recorded.
+    requested_jobs: int = 0
 
     @property
     def utilization(self) -> float:
@@ -59,10 +62,20 @@ class GridStats:
         return self.job_seconds / capacity if capacity > 0 else 0.0
 
     @property
+    def jobs_clamped(self) -> bool:
+        """Whether the runner granted fewer workers than requested
+        (``--jobs`` exceeded the machine's CPU count)."""
+        return self.requested_jobs > self.workers > 0
+
+    @property
     def eventful(self) -> bool:
         """Whether anything beyond plain completion happened."""
         return bool(
-            self.failed or self.retries or self.timeouts or self.worker_deaths
+            self.failed
+            or self.retries
+            or self.timeouts
+            or self.worker_deaths
+            or self.jobs_clamped
         )
 
     def render(self) -> str:
@@ -84,6 +97,12 @@ class GridStats:
         if self.worker_deaths:
             parts.append(f"{self.worker_deaths} worker deaths")
         text = ", ".join(parts)
+        if self.jobs_clamped:
+            text += (
+                f"\nwarning: --jobs {self.requested_jobs} requested, "
+                f"{self.workers} worker{'s' if self.workers != 1 else ''} "
+                f"granted (CPU-count clamp)"
+            )
         if self.failure_labels:
             text += "\nfailed jobs: " + ", ".join(self.failure_labels)
         return text
@@ -146,6 +165,8 @@ class GridStats:
             "wall_seconds": self.wall_seconds,
             "job_seconds": self.job_seconds,
             "workers": self.workers,
+            "requested_jobs": self.requested_jobs,
+            "jobs_clamped": self.jobs_clamped,
             "utilization": self.utilization,
         }
 
@@ -171,6 +192,7 @@ class RunSummary:
         "study",
         "read_latency",
         "write_latency",
+        "backend",
     )
 
     def __init__(
@@ -186,6 +208,7 @@ class RunSummary:
         study: Optional[StudyResults] = None,
         read_latency: Optional[LatencyHistogram] = None,
         write_latency: Optional[LatencyHistogram] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.scheme = scheme
         self.workload_name = workload_name
@@ -200,6 +223,10 @@ class RunSummary:
         #: deserialized from pre-1.4 cache files).
         self.read_latency = read_latency
         self.write_latency = write_latency
+        #: Which simulator engine ran: "compiled" (columnar fast path)
+        #: or "scalar" (the differential-testing oracle).  None on
+        #: summaries deserialized from pre-1.6 cache files.
+        self.backend = backend
 
     # ------------------------------------------------------------------
     @classmethod
@@ -217,6 +244,7 @@ class RunSummary:
             study=result.study_results(),
             read_latency=result.read_latency_histogram(),
             write_latency=result.write_latency_histogram(),
+            backend=getattr(result, "backend", None),
         )
 
     def with_study(self, study: Optional[StudyResults]) -> "RunSummary":
@@ -235,6 +263,7 @@ class RunSummary:
             study=study,
             read_latency=self.read_latency,
             write_latency=self.write_latency,
+            backend=self.backend,
         )
 
     # -- RunResult-compatible surface -----------------------------------
@@ -299,6 +328,7 @@ class RunSummary:
             "breakdowns": [breakdown.to_dict() for breakdown in self.breakdowns],
             "counters": dict(self.counters),
             "timing": self.timing,
+            "backend": self.backend,
             "study": self.study.to_dict() if self.study is not None else None,
             "read_latency": (
                 self.read_latency.to_dict() if self.read_latency is not None else None
@@ -322,6 +352,7 @@ class RunSummary:
             breakdowns=[TimeBreakdown(**fields) for fields in data["breakdowns"]],
             counters=data["counters"],
             timing=data.get("timing"),
+            backend=data.get("backend"),
             study=StudyResults.from_dict(study) if study is not None else None,
             read_latency=(
                 LatencyHistogram.from_dict(read_latency)

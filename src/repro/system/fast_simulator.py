@@ -1,0 +1,502 @@
+"""Compiled fast path for the timing simulator.
+
+Drives the ``fastsim`` C engine (see :mod:`repro.core.timing_kernels`)
+over materialized columnar reference streams.  The C engine owns the
+whole inter-sync machine — event heap, FLC/SLC/AM hierarchies, COMA-F
+protocol, directory, crossbar charging, TLB/DLB with the scalar path's
+exact Mersenne Twister streams — and returns to Python only at
+synchronization events (barriers, locks, stream end), where this module
+replays :class:`~repro.system.simulator.Simulator`'s sync semantics
+verbatim through thin C accessors.
+
+The contract is **bit-identical results**: after a fast run the machine
+object (counters, cache/AM/directory images, TLB contents, RNG states,
+histograms, breakdowns) is indistinguishable from one driven by the
+scalar engine, which the differential suite
+(``tests/integration/test_timing_equivalence.py``) enforces field by
+field.  Anything the C engine does not model — tracing, port
+contention, topologies, paging extensions, study agents, invariant
+checking — makes :func:`fallback_reason` return a string and the caller
+stays on the scalar path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from repro.common.errors import CapacityError, ProtocolError, ReproError
+from repro.coma.states import AMState
+from repro.core import timing_kernels as tk
+from repro.core.schemes import TAP_OF_SCHEME, TapPoint
+from repro.core.tlb import Organization
+from repro.system.refs import BARRIER, LOCK, UNLOCK
+from repro.system.results import RunResult
+
+#: Set non-empty to force the scalar engine (CLI ``--no-fast-timing``).
+NO_FAST_ENV = "REPRO_NO_FAST_TIMING"
+
+_TAP_CODE = {
+    TapPoint.L0: tk.TAP_L0,
+    TapPoint.L1: tk.TAP_L1,
+    TapPoint.L2: tk.TAP_L2,
+    TapPoint.L3: tk.TAP_L3,
+    TapPoint.HOME: tk.TAP_HOME,
+}
+
+_N_ENGINE_GLOBALS = 11  # glob[0:11] → engine.counters, the rest → crossbar
+
+
+def _pow2_at_least(n: int) -> int:
+    size = 16
+    while size < n:
+        size <<= 1
+    return size
+
+
+def fallback_reason(simulator) -> Optional[str]:
+    """None when the compiled fast path can reproduce this run exactly;
+    otherwise a short human-readable reason for staying scalar."""
+    if os.environ.get(NO_FAST_ENV):
+        return f"disabled ({NO_FAST_ENV})"
+    from repro.system.machine import Machine
+    from repro.system.taps import TimingAgent
+
+    machine = simulator.machine
+    if type(machine) is not Machine:
+        return f"custom machine type {type(machine).__name__}"
+    if (
+        machine.tracer is not None
+        or machine.engine.trace is not None
+        or machine.crossbar.trace is not None
+    ):
+        return "tracing attached"
+    if simulator.check_invariants_every:
+        return "invariant checking requested"
+    if (
+        machine.swap_daemon is not None
+        or machine.engine.overflow_handler is not None
+        or machine.engine.fault_handler is not None
+    ):
+        return "paging extensions active"
+    if machine.crossbar.contention:
+        return "port contention model active"
+    if machine.crossbar.topology is not None:
+        return "topology model active"
+    agent = machine.agent
+    from repro.coma.protocol import TranslationAgent
+
+    if type(agent) is TimingAgent:
+        if agent.organization not in (
+            Organization.FULLY_ASSOCIATIVE,
+            Organization.DIRECT_MAPPED,
+        ):
+            return f"unsupported TLB organization {agent.organization.value}"
+    elif type(agent) is not TranslationAgent:
+        return f"unsupported agent {type(agent).__name__}"
+    if tk.get_backend() is None:
+        return f"compiled backend unavailable: {tk.backend_status()}"
+    return None
+
+
+def _raise_engine_error(status: int) -> None:
+    if status == tk.ERR_PROTOCOL:
+        raise ProtocolError("fast timing engine: protocol violation")
+    if status == tk.ERR_CAPACITY:
+        raise CapacityError("fast timing engine: no slot for injected master")
+    if status == tk.ERR_KEY:
+        raise ReproError("fast timing engine: unmapped page in translation")
+    raise ReproError(f"fast timing engine: internal error ({status})")
+
+
+def run_fast(simulator) -> RunResult:
+    """Run one simulation on the compiled engine.
+
+    The caller must have checked :func:`fallback_reason` first; this
+    function assumes eligibility and raises on engine errors.
+    """
+    from repro.system.taps import TimingAgent
+
+    backend = tk.get_backend()
+    ffi, lib = backend.ffi, backend.lib
+    machine = simulator.machine
+    params = machine.params
+    layout = machine.layout
+    engine = machine.engine
+    agent = machine.agent
+    nodes = machine.nodes
+    count = params.nodes
+    think = machine.workload.think_cycles
+    timing_agent = type(agent) is TimingAgent
+    max_refs = simulator.max_refs_per_node
+    swords = (count + 63) // 64
+
+    dir_entries = sum(len(d) for d in engine.directories)
+    geom = [0] * tk.GEOM_LEN
+    geom[tk.GEOM_NODES] = count
+    geom[tk.GEOM_THINK] = think
+    geom[tk.GEOM_PAGE_BITS] = layout.page_bits
+    geom[tk.GEOM_BLOCK_BITS] = layout.block_bits
+    geom[tk.GEOM_FLC_BLOCK] = params.flc_block
+    geom[tk.GEOM_FLC_SETS] = params.flc_sets
+    geom[tk.GEOM_FLC_ASSOC] = params.flc_assoc
+    geom[tk.GEOM_SLC_BLOCK] = params.slc_block
+    geom[tk.GEOM_SLC_SETS] = params.slc_sets
+    geom[tk.GEOM_SLC_ASSOC] = params.slc_assoc
+    geom[tk.GEOM_AM_SETS] = params.am_sets
+    geom[tk.GEOM_AM_ASSOC] = params.am_assoc
+    geom[tk.GEOM_SLC_HIT] = params.slc_hit_latency
+    geom[tk.GEOM_AM_HIT] = params.am_hit_latency
+    geom[tk.GEOM_REQ_CYCLES] = params.request_msg_cycles
+    geom[tk.GEOM_BLK_CYCLES] = params.block_msg_cycles
+    geom[tk.GEOM_DIR_LATENCY] = params.directory_lookup_latency
+    geom[tk.GEOM_PENALTY] = params.translation_miss_penalty
+    geom[tk.GEOM_VIRTUAL_FLC] = int(machine.scheme.uses_virtual_flc)
+    geom[tk.GEOM_VIRTUAL_SLC] = int(machine.scheme.uses_virtual_slc)
+    geom[tk.GEOM_VIRTUAL_AM] = int(machine.scheme.uses_virtual_am)
+    geom[tk.GEOM_RELAXED] = int(nodes[0].relaxed_writes) if nodes else 0
+    geom[tk.GEOM_TAP] = (
+        _TAP_CODE[TAP_OF_SCHEME[machine.scheme]] if timing_agent else tk.TAP_NONE
+    )
+    geom[tk.GEOM_INCLUDE_L2_WB] = (
+        int(agent.include_l2_writebacks) if timing_agent else 1
+    )
+    if timing_agent:
+        buffer0 = agent.buffer(0)
+        geom[tk.GEOM_TLB_ENTRIES] = buffer0.entries
+        geom[tk.GEOM_TLB_SETS] = buffer0.sets
+        geom[tk.GEOM_TLB_ASSOC] = buffer0.assoc
+    geom[tk.GEOM_MAX_REFS] = -1 if max_refs is None else max_refs
+    geom[tk.GEOM_AM_BLOCK] = params.am_block
+    geom[tk.GEOM_REQ_PAYLOAD] = params.request_payload_bytes
+    geom[tk.GEOM_BLK_PAYLOAD] = params.am_block + params.message_header_bytes
+    geom[tk.GEOM_DIR_CAPACITY] = _pow2_at_least(2 * dir_entries + 16)
+    geom[tk.GEOM_MAP_CAPACITY] = _pow2_at_least(2 * len(machine.page_map) + 16)
+
+    handle = lib.fs_create(ffi.new("int64_t[]", geom))
+    if handle == ffi.NULL:
+        raise MemoryError("fast timing engine allocation failed")
+    try:
+        return _drive(simulator, ffi, lib, handle, swords, think, timing_agent)
+    finally:
+        lib.fs_destroy(handle)
+
+
+def _drive(simulator, ffi, lib, handle, swords, think, timing_agent) -> RunResult:
+    machine = simulator.machine
+    engine = machine.engine
+    agent = machine.agent
+    nodes = machine.nodes
+    count = machine.params.nodes
+
+    # -- load the snapshot ----------------------------------------------
+    # Streams: materialized columns; `keep` pins the arrays and their
+    # cffi views for the lifetime of the run (C holds raw pointers).
+    keep = []
+    for n in range(count):
+        ops, vals = tk.materialize_stream(machine.node_stream(n))
+        length = len(ops)
+        if length:
+            ops_view = ffi.from_buffer("uint8_t[]", ops)
+            vals_view = ffi.from_buffer("int64_t[]", vals)
+        else:
+            ops_view = vals_view = ffi.NULL
+        keep.append((ops, vals, ops_view, vals_view))
+        lib.fs_set_stream(handle, n, ops_view, vals_view, length)
+
+    for vpn, pfn in machine.page_map.items():
+        if lib.fs_pagemap_add(handle, vpn, pfn) != 0:
+            raise MemoryError("fast timing engine: page map load failed")
+
+    for n, am in enumerate(engine.ams):
+        for am_set in am._sets:
+            for block, state in am_set.items():
+                if lib.fs_am_load(handle, n, block, int(state)) != 0:
+                    raise ReproError("fast timing engine: AM image load failed")
+
+    sharer_words = ffi.new("uint64_t[]", swords)
+    for directory in engine.directories:
+        for block, entry in directory._entries.items():
+            mask = 0
+            for sharer in entry.sharers:
+                mask |= 1 << sharer
+            for w in range(swords):
+                sharer_words[w] = (mask >> (64 * w)) & 0xFFFFFFFFFFFFFFFF
+            owner = -1 if entry.owner is None else entry.owner
+            if lib.fs_dir_load(handle, block, owner, sharer_words) != 0:
+                raise ReproError("fast timing engine: directory load failed")
+
+    lib.fs_seed_engine(
+        handle, ffi.from_buffer("uint32_t[]", tk.rng_state_words(engine._rng))
+    )
+    if timing_agent:
+        for n in range(count):
+            lib.fs_seed_tlb(
+                handle,
+                n,
+                ffi.from_buffer("uint32_t[]", tk.rng_state_words(agent.buffer(n)._rng)),
+            )
+
+    # -- sync-event loop (mirrors Simulator.run exactly) ----------------
+    sync: List[int] = [0] * count
+    active = count
+    barriers_seen = 0
+    barrier_arrivals = {}
+    lock_holder = {}
+    lock_queue = {}
+    out = ffi.new("int64_t[4]")
+
+    def reference(node: int, word: int, now: int) -> int:
+        stall = int(lib.fs_reference(handle, node, 1, word, now))
+        if stall < 0:
+            _raise_engine_error(stall)
+        return stall
+
+    def maybe_release_barrier(barrier_id: int) -> None:
+        arrivals = barrier_arrivals.get(barrier_id)
+        if arrivals is None or len(arrivals) < active:
+            return
+        release = max(arrivals.values()) if arrivals else 0
+        for node_id, arrived in arrivals.items():
+            sync[node_id] += release - arrived
+            lib.fs_set_clock(handle, node_id, release)
+            lib.fs_push(handle, release, node_id)
+        del barrier_arrivals[barrier_id]
+
+    def finish(node: int, now: int) -> None:
+        nonlocal active
+        lib.fs_mark_finished(handle, node)
+        lib.fs_set_clock(handle, node, now)
+        active -= 1
+        for word, holder in list(lock_holder.items()):
+            if holder != node:
+                continue
+            queue = lock_queue.get(word)
+            if queue:
+                waiter, arrival = queue.pop(0)
+                lock_holder[word] = waiter
+                sync[waiter] += max(0, now - arrival)
+                lib.fs_push(handle, max(now, arrival), waiter)
+            else:
+                lock_holder[word] = None
+        for barrier_id in list(barrier_arrivals):
+            maybe_release_barrier(barrier_id)
+
+    while True:
+        status = int(lib.fs_run(handle, out))
+        if status == tk.DONE:
+            break
+        if status < 0:
+            _raise_engine_error(status)
+        n, now = int(out[0]), int(out[1])
+        if status == tk.NEED_FINISH:
+            finish(n, now)
+            continue
+        op, value = int(out[2]), int(out[3])
+        lib.fs_consume_op(handle, n)
+        if op == BARRIER:
+            barriers_seen += 1
+            arrivals = barrier_arrivals.setdefault(value, {})
+            if n in arrivals:
+                raise ReproError(
+                    f"node {n} reached barrier {value} twice before release"
+                )
+            arrivals[n] = now
+            lib.fs_set_clock(handle, n, now)
+            maybe_release_barrier(value)
+        elif op == LOCK:
+            holder = lock_holder.get(value)
+            if holder is None:
+                lock_holder[value] = n
+                stall = reference(n, value, now)
+                lib.fs_set_clock(handle, n, now + stall)
+                lib.fs_push(handle, now + stall, n)
+            else:
+                lock_queue.setdefault(value, []).append((n, now))
+        elif op == UNLOCK:
+            if lock_holder.get(value) != n:
+                raise ReproError(
+                    f"node {n} unlocks {value:#x} held by {lock_holder.get(value)}"
+                )
+            stall = reference(n, value, now)
+            release_time = now + stall
+            lib.fs_set_clock(handle, n, release_time)
+            lib.fs_push(handle, release_time, n)
+            queue = lock_queue.get(value)
+            if queue:
+                waiter, arrival = queue.pop(0)
+                lock_holder[value] = waiter
+                sync[waiter] += release_time - arrival
+                acquire_stall = reference(waiter, value, release_time)
+                lib.fs_set_clock(handle, waiter, release_time + acquire_stall)
+                lib.fs_push(handle, release_time + acquire_stall, waiter)
+            else:
+                lock_holder[value] = None
+        else:
+            raise ReproError(f"unknown opcode {op}")
+
+    if barrier_arrivals:
+        raise ReproError(
+            f"deadlock: barriers {sorted(barrier_arrivals)} never released"
+        )
+    held = [w for w, h in lock_holder.items() if h is not None]
+    if held:
+        raise ReproError(f"locks still held at end of run: {held}")
+
+    clock = [int(lib.fs_get_clock(handle, n)) for n in range(count)]
+    end_time = max(clock) if clock else 0
+    for n in range(count):
+        sync[n] += end_time - clock[n]
+
+    # -- copy every piece of machine state back -------------------------
+    refs_per_node = [int(lib.fs_refs_done(handle, n)) for n in range(count)]
+    breakdowns = []
+    bd3 = ffi.new("int64_t[3]")
+    hist_buckets = ffi.new("int64_t[]", tk.N_HIST_BUCKETS)
+    hist_ct = ffi.new("int64_t[2]")
+    stats2 = ffi.new("int64_t[2]")
+    node_vals = ffi.new("int64_t[]", len(tk.NODE_COUNTERS))
+    node_calls = ffi.new("int64_t[]", len(tk.NODE_COUNTERS))
+
+    for n, node in enumerate(nodes):
+        lib.fs_export_breakdown(handle, n, bd3)
+        breakdown = node.breakdown
+        breakdown.busy = think * refs_per_node[n]
+        breakdown.sync = sync[n]
+        breakdown.loc_stall = int(bd3[0])
+        breakdown.rem_stall = int(bd3[1])
+        breakdown.tlb_stall = int(bd3[2])
+        breakdowns.append(breakdown)
+
+        lib.fs_export_node_counters(handle, n, node_vals, node_calls)
+        values = node.counters._values
+        for i, name in enumerate(tk.NODE_COUNTERS):
+            if node_calls[i]:
+                values[name] = values.get(name, 0) + int(node_vals[i])
+
+        for is_write, hist in ((0, node.read_latency), (1, node.write_latency)):
+            lib.fs_export_hist(handle, n, is_write, hist_buckets, hist_ct)
+            hist._buckets = {
+                i: int(hist_buckets[i])
+                for i in range(tk.N_HIST_BUCKETS)
+                if hist_buckets[i]
+            }
+            hist.count = int(hist_ct[0])
+            hist.total = int(hist_ct[1])
+
+        _load_cache(ffi, lib, handle, n, 0, node.flc, stats2, lambda s: s)
+        _load_cache(ffi, lib, handle, n, 1, node.slc, stats2, lambda s: s)
+        _load_cache(ffi, lib, handle, n, 2, engine.ams[n], stats2, AMState)
+
+    glob_vals = ffi.new("int64_t[]", len(tk.GLOBAL_COUNTERS))
+    glob_calls = ffi.new("int64_t[]", len(tk.GLOBAL_COUNTERS))
+    lib.fs_export_global(handle, glob_vals, glob_calls)
+    engine_values = engine.counters._values
+    crossbar_values = machine.crossbar.counters._values
+    for i, name in enumerate(tk.GLOBAL_COUNTERS):
+        if glob_calls[i]:
+            target = engine_values if i < _N_ENGINE_GLOBALS else crossbar_values
+            target[name] = target.get(name, 0) + int(glob_vals[i])
+
+    _load_directory(ffi, lib, handle, machine, swords)
+
+    if timing_agent:
+        _load_tlbs(ffi, lib, handle, agent, count)
+
+    rng_out = ffi.new("uint32_t[]", tk.RNG_STATE_WORDS)
+    lib.fs_export_engine_rng(handle, rng_out)
+    tk.load_rng_state(engine._rng, [int(rng_out[i]) for i in range(tk.RNG_STATE_WORDS)])
+    engine._translation_accum = int(lib.fs_translation_accum(handle))
+    active_block = int(lib.fs_active_block(handle))
+    engine.active_demand_block = None if active_block < 0 else active_block
+
+    return RunResult(
+        machine=machine,
+        breakdowns=breakdowns,
+        total_time=end_time,
+        refs_per_node=refs_per_node,
+        barriers=barriers_seen,
+    )
+
+
+def _load_cache(ffi, lib, handle, node: int, which: int, cache, stats2, cast) -> None:
+    """Rebuild a Python cache/AM image from the C engine's LRU arrays.
+
+    The export is set-major and LRU-ordered within each set, so
+    appending into fresh per-set dicts reproduces the scalar path's
+    dict insertion order (= LRU order) exactly.
+    """
+    capacity = cache.sets * cache.assoc
+    blocks = ffi.new("int64_t[]", capacity)
+    states = ffi.new("uint8_t[]", capacity)
+    resident = int(lib.fs_export_cache(handle, node, which, blocks, states))
+    shift = cache._block_shift
+    mask = cache._set_mask
+    fresh = [dict() for _ in range(cache.sets)]
+    for i in range(resident):
+        block = int(blocks[i])
+        fresh[(block >> shift) & mask][block] = cast(int(states[i]))
+    cache._sets = fresh
+    lib.fs_cache_stats(handle, node, which, stats2)
+    cache.hits = int(stats2[0])
+    cache.misses = int(stats2[1])
+
+
+def _load_directory(ffi, lib, handle, machine, swords: int) -> None:
+    engine = machine.engine
+    layout = machine.layout
+    count = machine.params.nodes
+    dcount = int(lib.fs_dir_count(handle))
+    blocks = ffi.new("int64_t[]", max(dcount, 1))
+    owners = ffi.new("int32_t[]", max(dcount, 1))
+    sharers = ffi.new("uint64_t[]", max(dcount, 1) * swords)
+    lib.fs_export_dir(handle, blocks, owners, sharers)
+    page_bits = layout.page_bits
+    node_mask = count - 1
+    for i in range(dcount):
+        block = int(blocks[i])
+        home = (block >> page_bits) & node_mask
+        entry = engine.directories[home]._entries[block]
+        owner = int(owners[i])
+        entry.owner = None if owner < 0 else owner
+        holders = set()
+        for w in range(swords):
+            word = int(sharers[i * swords + w])
+            base = 64 * w
+            while word:
+                low = word & -word
+                holders.add(base + low.bit_length() - 1)
+                word ^= low
+        entry.sharers = holders
+    lookups = ffi.new("int64_t[]", count)
+    lib.fs_export_dir_lookups(handle, lookups)
+    for home in range(count):
+        engine.directories[home].lookups += int(lookups[home])
+
+
+def _load_tlbs(ffi, lib, handle, agent, count: int) -> None:
+    rng_out = ffi.new("uint32_t[]", tk.RNG_STATE_WORDS)
+    for n in range(count):
+        buffer = agent.buffer(n)
+        capacity = buffer.sets * buffer.assoc
+        tags = ffi.new("int64_t[]", capacity)
+        lens = ffi.new("int32_t[]", buffer.sets)
+        stats = ffi.new("int64_t[2]")
+        lib.fs_export_tlb(handle, n, tags, lens, stats)
+        new_tags = []
+        where = {}
+        for set_idx in range(buffer.sets):
+            ways = [
+                int(tags[set_idx * buffer.assoc + w]) for w in range(int(lens[set_idx]))
+            ]
+            new_tags.append(ways)
+            for way, page in enumerate(ways):
+                where[page] = (set_idx, way)
+        buffer._tags = new_tags
+        buffer._where = where
+        buffer.accesses = int(stats[0])
+        buffer.misses = int(stats[1])
+        lib.fs_export_tlb_rng(handle, n, rng_out)
+        tk.load_rng_state(
+            buffer._rng, [int(rng_out[i]) for i in range(tk.RNG_STATE_WORDS)]
+        )

@@ -57,6 +57,8 @@ class Node:
         "_at_l2",
         "_counter_values",
         "_trace",
+        "_ref_begin",
+        "_ref_end",
     )
 
     def __init__(
@@ -108,8 +110,19 @@ class Node:
         self._at_l2 = agent.at_l2 if agent.uses_tap(TapPoint.L2) else None
         self._counter_values = self.counters._values
         #: Optional :class:`~repro.obs.trace.Tracer`; one "ref" span per
-        #: reference when attached, one is-None check when not.
+        #: reference when attached, one is-None check when not.  The
+        #: span emitters are hoisted here, once, so the traced hot path
+        #: packs a fixed-layout record instead of building dicts.
         self._trace = trace
+        if trace is not None:
+            self._ref_begin, self._ref_end = trace.span_emitter(
+                "ref",
+                ("node", "op", "vpn"),
+                ("cycles", "tlb"),
+                enums={"op": ("read", "write")},
+            )
+        else:
+            self._ref_begin = self._ref_end = None
 
     # ------------------------------------------------------------------
     # main entry: one load or store
@@ -140,26 +153,27 @@ class Node:
         return cycles
 
     def _traced_reference(self, op_is_write: bool, vaddr: int, now: int) -> int:
-        """One reference wrapped in a "ref" span.  The body re-enters
-        :meth:`reference` with the tracer detached so the plain path
-        stays flat; protocol spans still nest (the engine holds its own
-        reference to the same tracer)."""
-        trace = self._trace
+        """One reference wrapped in a "ref" span; mirrors
+        :meth:`reference`'s untraced body between the span emitters
+        (protocol spans still nest — the engine holds its own reference
+        to the same tracer)."""
         breakdown = self.breakdown
         tlb_before = breakdown.tlb_stall
-        trace.begin(
-            "ref",
-            now,
-            node=self.id,
-            op="write" if op_is_write else "read",
-            vpn=vaddr >> self._page_bits,
-        )
-        self._trace = None
-        try:
-            cycles = self.reference(op_is_write, vaddr, now)
-        finally:
-            self._trace = trace
-        trace.end(now + cycles, cycles=cycles, tlb=breakdown.tlb_stall - tlb_before)
+        self._ref_begin(now, self.id, op_is_write, vaddr >> self._page_bits)
+        if op_is_write and self.relaxed_writes:
+            before = (breakdown.loc_stall, breakdown.rem_stall, breakdown.tlb_stall)
+            raw = self._process(op_is_write, vaddr, now)
+            breakdown.loc_stall, breakdown.rem_stall, breakdown.tlb_stall = before
+            self.counters.add("hidden_store_cycles", raw)
+            self.write_latency.record(0)
+            cycles = 0
+        else:
+            cycles = self._process(op_is_write, vaddr, now)
+            if op_is_write:
+                self.write_latency.record(cycles)
+            else:
+                self.read_latency.record(cycles)
+        self._ref_end(now + cycles, cycles, breakdown.tlb_stall - tlb_before)
         return cycles
 
     def _process(self, op_is_write: bool, vaddr: int, now: int) -> int:

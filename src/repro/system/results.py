@@ -31,6 +31,11 @@ class RunResult:
         self.total_time = total_time
         self.refs_per_node = refs_per_node
         self.barriers = barriers
+        #: Which engine produced this result ("compiled" or "scalar"),
+        #: and why the scalar path ran (None on the fast path).  Filled
+        #: in by :meth:`~repro.system.simulator.Simulator.run`.
+        self.backend: Optional[str] = None
+        self.fallback_reason: Optional[str] = None
 
     # ------------------------------------------------------------------
     @property

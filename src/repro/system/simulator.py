@@ -41,6 +41,7 @@ class Simulator:
         max_refs_per_node: Optional[int] = None,
         check_invariants_every: int = 0,
         phase_every: int = 2048,
+        fast: bool = True,
     ) -> None:
         self.machine = machine
         self.max_refs_per_node = max_refs_per_node
@@ -48,8 +49,42 @@ class Simulator:
         #: With a tracer attached, emit one "phase" progress event per
         #: this many processed references (refs/sec over simulated time).
         self.phase_every = phase_every
+        #: Try the compiled columnar engine first (bit-identical; see
+        #: repro.system.fast_simulator).  False forces the scalar path.
+        self.fast = fast
+        #: After run(): "compiled" or "scalar".
+        self.backend: Optional[str] = None
+        #: After run(): why the scalar path was used (None on the fast
+        #: path; "fast=False" when explicitly disabled).
+        self.fallback_reason: Optional[str] = None
 
     def run(self) -> RunResult:
+        """Run to completion, preferring the compiled fast path.
+
+        Both paths produce bit-identical results (the differential
+        suite enforces it); ``backend``/``fallback_reason`` record
+        which one actually ran.
+        """
+        if self.fast:
+            from repro.system import fast_simulator
+
+            reason = fast_simulator.fallback_reason(self)
+            if reason is None:
+                self.backend = "compiled"
+                self.fallback_reason = None
+                return self._stamp(fast_simulator.run_fast(self))
+            self.fallback_reason = reason
+        else:
+            self.fallback_reason = "fast=False"
+        self.backend = "scalar"
+        return self._stamp(self._run_scalar())
+
+    def _stamp(self, result: RunResult) -> RunResult:
+        result.backend = self.backend
+        result.fallback_reason = self.fallback_reason
+        return result
+
+    def _run_scalar(self) -> RunResult:
         machine = self.machine
         nodes = machine.nodes
         count = len(nodes)

@@ -243,13 +243,14 @@ class TimingAgent(TranslationAgent):
 
     @staticmethod
     def _make_hook(trace, hit_name: str, fill_name: str, node: int):
+        # One packed emitter per event name, hoisted here so each
+        # translation lookup packs a fixed-layout record (timestamped
+        # at the tracer's last seen time — the hooks carry no clock).
+        emit_hit = trace.event_emitter(hit_name, ("node", "vpn"))
+        emit_fill = trace.event_emitter(fill_name, ("node", "vpn"))
+
         def hook(page: int, hit: bool) -> None:
-            trace.event(
-                hit_name if hit else fill_name,
-                trace.last_time,
-                node=node,
-                vpn=page,
-            )
+            (emit_hit if hit else emit_fill)(trace._last_time, node, page)
 
         return hook
 
