@@ -48,9 +48,10 @@ CASES = (
 
 
 def comparable(result) -> dict:
-    """The run's full serialized surface minus the backend tag."""
+    """The run's full serialized surface minus the engine tags."""
     payload = RunSummary.from_result(result).to_dict()
     payload.pop("backend", None)
+    payload.pop("fallback_reason", None)
     return payload
 
 

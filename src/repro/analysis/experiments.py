@@ -55,6 +55,8 @@ def run_miss_sweep(
     orgs: Iterable[Organization] = DEFAULT_SWEEP_ORGS,
     max_refs_per_node: Optional[int] = None,
     tracer=None,
+    fast: bool = True,
+    stream_key: Optional[str] = None,
 ) -> RunResult:
     """Simulate once, observing every translation point.
 
@@ -66,10 +68,20 @@ def run_miss_sweep(
     exposes the sweep surface.  An optional
     :class:`~repro.obs.trace.Tracer` records the run's span/event
     stream.
+
+    ``fast=False`` forces the scalar reference engine; the default
+    prefers the compiled sweep fast path (capture mode + one
+    ``fs_bank_run`` per recorded tap stream) when the run is eligible —
+    bit-identical either way, with ``result.backend`` recording which
+    engine ran.  ``stream_key`` (a workload identity such as
+    ``JobSpec.trace_hash()``) lets grid runs share materialized columns
+    through the stream LRU.
     """
     agent = StudyAgent(params, sizes=sizes, orgs=orgs)
     machine = Machine(params, Scheme.V_COMA, workload, agent=agent, tracer=tracer)
-    return Simulator(machine, max_refs_per_node=max_refs_per_node).run()
+    return Simulator(
+        machine, max_refs_per_node=max_refs_per_node, fast=fast, stream_key=stream_key
+    ).run()
 
 
 def run_timing(
@@ -83,6 +95,7 @@ def run_timing(
     contention: bool = False,
     tracer=None,
     fast: bool = True,
+    stream_key: Optional[str] = None,
 ) -> RunResult:
     """Coupled run: one real translation structure, penalties charged.
 
@@ -110,7 +123,9 @@ def run_timing(
     machine = Machine(
         params, scheme, workload, agent=agent, contention=contention, tracer=tracer
     )
-    return Simulator(machine, max_refs_per_node=max_refs_per_node, fast=fast).run()
+    return Simulator(
+        machine, max_refs_per_node=max_refs_per_node, fast=fast, stream_key=stream_key
+    ).run()
 
 
 def _default_runner(runner):

@@ -39,9 +39,10 @@ across worker processes (clamped to the CPU count), ``--cache-dir`` to
 relocate the persistent result cache, ``--no-cache`` to bypass it,
 ``--cache-max-mb`` to cap it with LRU eviction, ``--no-replay`` to
 force miss sweeps down the coupled scalar path instead of the
-record-once/replay-many pipeline, and ``--no-fast-timing`` to force
+record-once/replay-many pipeline, ``--no-fast-timing`` to force
 coupled timing runs onto the scalar reference engine instead of the
-compiled columnar fast path (see ``docs/performance.md``; the
+compiled columnar fast path, and ``--no-fast-sweep`` to do the same
+for miss sweeps and trace captures (see ``docs/performance.md``; the
 ``timing`` output's ``engine`` line reports which one ran).
 
 Grids run under the fault-tolerant supervisor (``docs/robustness.md``):
@@ -114,6 +115,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "reference engine instead of the compiled "
                             "columnar fast path (bit-identical, much "
                             "slower; sets REPRO_NO_FAST_TIMING)")
+        p.add_argument("--no-fast-sweep", action="store_true",
+                       help="run miss sweeps and trace captures on the "
+                            "scalar reference engine instead of the "
+                            "compiled sweep fast path (bit-identical, "
+                            "much slower; sets REPRO_NO_FAST_SWEEP)")
         p.add_argument("--retries", type=int, default=0,
                        help="retry budget per job for transient failures "
                             "(I/O errors, corrupt traces, worker death, "
@@ -581,6 +587,10 @@ def _dispatch(args, out) -> int:
         import os
 
         os.environ["REPRO_NO_FAST_TIMING"] = "1"
+    if getattr(args, "no_fast_sweep", False):
+        import os
+
+        os.environ["REPRO_NO_FAST_SWEEP"] = "1"
 
     if args.command == "describe":
         out.write(machine_params(args).describe() + "\n")

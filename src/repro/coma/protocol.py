@@ -143,6 +143,12 @@ class ProtocolEngine:
         self._em_fetch = None
         self._em_upgrade = None
         self._em_invalidate = None
+        # Demand entry points are rebound on trace attachment (see the
+        # ``trace`` setter): the untraced hot path — one call per SLC
+        # miss / write upgrade in the sweep inner loop — jumps straight
+        # to the implementation with no per-transaction is-None check.
+        self.fetch = self._fetch
+        self.upgrade_for_write = self._upgrade_for_write
         # Translation cycles of the transaction in flight (reported via
         # AccessOutcome.translation; reset by the demand entry points).
         self._translation_accum = 0
@@ -172,6 +178,8 @@ class ProtocolEngine:
         self._trace = tracer
         if tracer is None:
             self._em_fetch = self._em_upgrade = self._em_invalidate = None
+            self.fetch = self._fetch
+            self.upgrade_for_write = self._upgrade_for_write
             return
         span_keys = (("node", "write", "block", "home"), ("remote", "translation"))
         self._em_fetch = tracer.span_emitter(
@@ -183,6 +191,8 @@ class ProtocolEngine:
         self._em_invalidate = tracer.event_emitter(
             "protocol.invalidate", ("node", "block", "home")
         )
+        self.fetch = self._traced_fetch
+        self.upgrade_for_write = self._traced_upgrade_for_write
 
     # ------------------------------------------------------------------
     # helpers
@@ -215,15 +225,18 @@ class ProtocolEngine:
     # ------------------------------------------------------------------
     # demand path (called by nodes on SLC misses / write upgrades)
     # ------------------------------------------------------------------
-    def fetch(self, node: int, addr: int, is_write: bool, now: int) -> AccessOutcome:
-        """Satisfy an SLC miss at ``node`` for the block holding
-        ``addr``; guarantees the local AM ends with a readable copy
-        (EXCLUSIVE when ``is_write``)."""
-        if self._trace is not None:
-            return self._traced(self._fetch, self._em_fetch, node, addr, is_write, now)
-        return self._fetch(node, addr, is_write, now)
+    def _traced_fetch(self, node: int, addr: int, is_write: bool, now: int) -> AccessOutcome:
+        """``fetch`` with the transaction wrapped in a trace span.
+        ``fetch``/``upgrade_for_write`` are instance attributes bound by
+        the ``trace`` setter — untraced engines dispatch straight to
+        ``_fetch``/``_upgrade_for_write``; traced engines come here."""
+        return self._traced(self._fetch, self._em_fetch, node, addr, is_write, now)
 
     def _fetch(self, node: int, addr: int, is_write: bool, now: int) -> AccessOutcome:
+        """Satisfy an SLC miss at ``node`` for the block holding
+        ``addr``; guarantees the local AM ends with a readable copy
+        (EXCLUSIVE when ``is_write``).  Reached as ``engine.fetch`` on
+        untraced engines."""
         block = self.layout.block_base(addr)
         self._translation_accum = 0
         self.active_demand_block = block
@@ -237,15 +250,12 @@ class ProtocolEngine:
         cycles = self.params.am_hit_latency + self._remote_fetch(node, block, is_write, now)
         return AccessOutcome(cycles, True, self._translation_accum)
 
-    def upgrade_for_write(self, node: int, addr: int, now: int) -> AccessOutcome:
-        """A store hit a clean-shared SLC block: the AM must gain
-        exclusive ownership.  (If the AM already owns it exclusively the
-        access completes locally.)"""
-        if self._trace is not None:
-            return self._traced(
-                self._upgrade_for_write, self._em_upgrade, node, addr, True, now
-            )
-        return self._upgrade_for_write(node, addr, now)
+    def _traced_upgrade_for_write(self, node: int, addr: int, now: int) -> AccessOutcome:
+        """``upgrade_for_write`` wrapped in a trace span (see
+        :meth:`_traced_fetch` for the dispatch scheme)."""
+        return self._traced(
+            self._upgrade_for_write, self._em_upgrade, node, addr, True, now
+        )
 
     def _traced(self, entry_point, emitters, node, addr, is_write, now) -> AccessOutcome:
         """Run one demand transaction inside a (packed) trace span."""
@@ -260,6 +270,10 @@ class ProtocolEngine:
         return outcome
 
     def _upgrade_for_write(self, node: int, addr: int, now: int) -> AccessOutcome:
+        """A store hit a clean-shared SLC block: the AM must gain
+        exclusive ownership.  (If the AM already owns it exclusively the
+        access completes locally.)  Reached as ``engine.upgrade_for_write``
+        on untraced engines."""
         block = self.layout.block_base(addr)
         self._translation_accum = 0
         self.active_demand_block = block

@@ -105,6 +105,16 @@
 
 #define N_HIST_BUCKETS 64
 
+/* sweep tap-stream indices (timing_kernels.SWEEP_TAPS order; the
+ * uncoupled StudyAgent/CaptureAgent observation points) */
+#define SW_L0 0
+#define SW_L1 1
+#define SW_L2 2
+#define SW_L2NW 3
+#define SW_L3 4
+#define SW_HOME 5
+#define N_SWEEP_TAPS 6
+
 /* geometry array indices (timing_kernels.GEOM fields) */
 enum {
     GEOM_NODES = 0,
@@ -516,6 +526,32 @@ static int tlb_access(Tlb *t, int64_t page) {
 }
 
 /* ------------------------------------------------------------------ */
+/* tap-stream capture: growable page-number vectors                    */
+/*                                                                     */
+/* The uncoupled sweep agents (StudyAgent / CaptureAgent) never stall   */
+/* the hierarchy -- they only observe the page number reaching each of  */
+/* the six translation taps.  In capture mode the kernel appends those  */
+/* pages, per (tap, node), in exact scalar call order; the bank models  */
+/* are then replayed over each stream with one fs_bank_run call.        */
+/* ------------------------------------------------------------------ */
+typedef struct {
+    int64_t *data;
+    int64_t len, cap;
+} Cap;
+
+static int cap_push(Cap *c, int64_t page) {
+    if (c->len >= c->cap) {
+        int64_t nc = c->cap ? c->cap * 2 : 1024;
+        int64_t *nd = (int64_t *)realloc(c->data, sizeof(int64_t) * nc);
+        if (!nd) return -1;
+        c->data = nd;
+        c->cap = nc;
+    }
+    c->data[c->len++] = page;
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
 /* binary heap of (time, node), lexicographic                          */
 /* ------------------------------------------------------------------ */
 typedef struct {
@@ -636,7 +672,16 @@ typedef struct FastSim {
     int64_t active_block;
 
     int32_t *cand; /* injection candidate scratch */
+
+    /* tap-stream capture (uncoupled sweep mode) */
+    Cap *caps; /* N_SWEEP_TAPS * nodes, tap-major; 0 when capture off */
+    int capture;
+    int cap_oom; /* sticky allocation failure, surfaced by fs_run */
 } FastSim;
+
+static inline void cap_feed(FastSim *s, int tap, int node, int64_t page) {
+    if (cap_push(&s->caps[tap * s->nodes + node], page)) s->cap_oom = 1;
+}
 
 /* counter add == Counters.add (key exists once called, even with 0) */
 static inline void gadd(FastSim *s, int idx, int64_t amount) {
@@ -709,6 +754,8 @@ static inline int64_t xfer(FastSim *s, int kind, int src, int dst, int64_t now) 
 
 /* ProtocolEngine._dir_lookup_cycles */
 static inline int64_t dir_lookup_cycles(FastSim *s, int home, int64_t addr, int injection) {
+    if (s->capture)
+        cap_feed(s, SW_HOME, home, (addr >> s->page_bits) >> s->node_bits);
     if (s->tap != TAP_HOME) return s->dir_latency;
     int64_t key = (addr >> s->page_bits) >> s->node_bits;
     int64_t pen = translate(s, home, key);
@@ -741,6 +788,9 @@ static int node_writeback_tail(FastSim *s, int node, int64_t slc_block) {
     int err = 0;
     int64_t vaddr = s->virtual_slc ? slc_block : to_virt(s, slc_block, &err);
     if (err) return err;
+    /* sweep agents feed every writeback into the L2 bank (and only
+     * the L2 bank -- L2_NO_WBACK models the physical-pointer bypass) */
+    if (s->capture) cap_feed(s, SW_L2, node, vaddr >> s->page_bits);
     if (s->tap == TAP_L2) {
         if (s->include_l2_wb) {
             /* cycles discarded by the caller, TLB side effects kept */
@@ -1043,6 +1093,7 @@ static int inject(FastSim *s, int src, int64_t block, uint8_t state, int64_t now
 static int64_t remote_fetch(FastSim *s, int node, int64_t block, int is_write, int64_t now) {
     gadd(s, is_write ? G_REMOTE_WRITES : G_REMOTE_READS, 1);
     int64_t penalty = 0;
+    if (s->capture) cap_feed(s, SW_L3, node, block >> s->page_bits);
     if (s->tap == TAP_L3) penalty = translate(s, node, block >> s->page_bits);
     s->translation_accum += penalty;
     int home = home_of(s, block);
@@ -1101,6 +1152,7 @@ static int64_t remote_fetch(FastSim *s, int node, int64_t block, int is_write, i
 static int64_t upgrade(FastSim *s, int node, int64_t block, int64_t now) {
     gadd(s, G_UPGRADES, 1);
     int64_t penalty = 0;
+    if (s->capture) cap_feed(s, SW_L3, node, block >> s->page_bits);
     if (s->tap == TAP_L3) penalty = translate(s, node, block >> s->page_bits);
     s->translation_accum += penalty;
     int home = home_of(s, block);
@@ -1233,6 +1285,7 @@ static int64_t node_process(FastSim *s, int node, int is_write, int64_t vaddr, i
     int err = 0;
     int64_t vpn = vaddr >> s->page_bits;
     int64_t tlb = 0;
+    if (s->capture) cap_feed(s, SW_L0, node, vpn);
     if (s->tap == TAP_L0) tlb += translate(s, node, vpn);
     int64_t paddr = s->needs_physical ? to_phys(s, vaddr, &err) : vaddr;
     if (err) return err;
@@ -1255,6 +1308,7 @@ static int64_t node_process(FastSim *s, int node, int is_write, int64_t vaddr, i
             lru_touch(flc, fset, fway);
         } else {
             flc->misses++;
+            if (s->capture) cap_feed(s, SW_L1, node, vpn);
             if (s->tap == TAP_L1) tlb += translate(s, node, vpn);
             /* slc.lookup */
             int64_t sblock = slc_addr & slc->block_mask;
@@ -1267,6 +1321,10 @@ static int64_t node_process(FastSim *s, int node, int is_write, int64_t vaddr, i
                 s->loc_stall[node] += s->slc_hit;
             } else {
                 slc->misses++;
+                if (s->capture) {
+                    cap_feed(s, SW_L2, node, vpn);
+                    cap_feed(s, SW_L2NW, node, vpn);
+                }
                 if (s->tap == TAP_L2) tlb += translate(s, node, vpn);
                 int remote = 0;
                 int64_t translation = 0;
@@ -1301,6 +1359,7 @@ static int64_t node_process(FastSim *s, int node, int is_write, int64_t vaddr, i
         } else {
             flc->misses++;
         }
+        if (s->capture) cap_feed(s, SW_L1, node, vpn);
         if (s->tap == TAP_L1) tlb += translate(s, node, vpn);
         /* slc.state_of + lookup */
         int64_t sblock = slc_addr & slc->block_mask;
@@ -1308,6 +1367,10 @@ static int64_t node_process(FastSim *s, int node, int is_write, int64_t vaddr, i
         int sway = lru_find(slc, sset, sblock);
         if (sway < 0) {
             slc->misses++; /* slc.lookup counting the miss */
+            if (s->capture) {
+                cap_feed(s, SW_L2, node, vpn);
+                cap_feed(s, SW_L2NW, node, vpn);
+            }
             if (s->tap == TAP_L2) tlb += translate(s, node, vpn);
             int remote = 0;
             int64_t translation = 0;
@@ -1333,6 +1396,10 @@ static int64_t node_process(FastSim *s, int node, int is_write, int64_t vaddr, i
             stall += s->slc_hit;
             s->loc_stall[node] += s->slc_hit;
             if (state == ST_CLEAN_SHARED) {
+                if (s->capture) {
+                    cap_feed(s, SW_L2, node, vpn);
+                    cap_feed(s, SW_L2NW, node, vpn);
+                }
                 if (s->tap == TAP_L2) tlb += translate(s, node, vpn);
                 int remote = 0;
                 int64_t translation = 0;
@@ -1513,6 +1580,10 @@ void fs_destroy(FastSim *s) {
     free(s->clock);
     free(s->refs_done);
     free(s->finished);
+    if (s->caps) {
+        for (int64_t i = 0; i < N_SWEEP_TAPS * s->nodes; i++) free(s->caps[i].data);
+        free(s->caps);
+    }
     free(s->cand);
     free(s);
 }
@@ -1555,6 +1626,24 @@ void fs_seed_tlb(FastSim *s, int idx, const uint32_t *state) {
     mt_load(&s->tlbs[idx].rng, state);
 }
 
+/* ---- tap-stream capture (uncoupled sweep mode) ---- */
+int fs_set_capture(FastSim *s, int enable) {
+    if (enable && !s->caps) {
+        s->caps = (Cap *)calloc((size_t)(N_SWEEP_TAPS * s->nodes), sizeof(Cap));
+        if (!s->caps) return FS_ERR_INTERNAL;
+    }
+    s->capture = enable ? 1 : 0;
+    return 0;
+}
+
+int64_t fs_cap_count(FastSim *s, int tap, int node) {
+    return s->caps ? s->caps[tap * s->nodes + node].len : 0;
+}
+
+const int64_t *fs_cap_data(FastSim *s, int tap, int node) {
+    return s->caps ? s->caps[tap * s->nodes + node].data : NULL;
+}
+
 /* ---- run control ---- */
 int fs_run(FastSim *s, int64_t *out) {
     Heap *h = &s->heap;
@@ -1580,6 +1669,7 @@ int fs_run(FastSim *s, int64_t *out) {
             s->pos[n]++;
             int64_t stall = node_reference(s, n, op, value, now + think);
             if (stall < 0) return (int)stall;
+            if (s->cap_oom) return FS_ERR_INTERNAL;
             int64_t t = now + think + stall;
             s->clock[n] = t;
             s->refs_done[n]++;
@@ -1597,7 +1687,9 @@ int fs_run(FastSim *s, int64_t *out) {
 
 /* lock-word stores from the Python sync handlers */
 int64_t fs_reference(FastSim *s, int node, int is_write, int64_t vaddr, int64_t now) {
-    return node_reference(s, node, is_write, vaddr, now);
+    int64_t cycles = node_reference(s, node, is_write, vaddr, now);
+    if (cycles >= 0 && s->cap_oom) return FS_ERR_INTERNAL;
+    return cycles;
 }
 
 void fs_consume_op(FastSim *s, int node) { s->pos[node]++; }
@@ -1719,6 +1811,33 @@ void fs_shuffle_selftest(const uint32_t *state, int32_t *arr, int len) {
     MT r;
     mt_load(&r, state);
     mt_shuffle(&r, arr, len);
+}
+
+/* One TranslationBuffer replayed over one recorded tap stream: the
+ * "one C call per node stream" bank kernel of the uncoupled sweep
+ * engine.  Banks never interact, so per-stream replay with the
+ * buffer's own Mersenne Twister substream reproduces every victim
+ * draw -- and therefore every miss count -- of the coupled scalar
+ * run.  rng_state (625 words, random.Random layout) is read on entry
+ * and overwritten with the post-run state; tags/lens receive the
+ * final contents (sets*assoc / sets slots).  Returns the miss count,
+ * or negative on allocation failure. */
+int64_t fs_bank_run(int64_t entries, int64_t sets, int64_t assoc, uint32_t *rng_state,
+                    const int64_t *pages, int64_t n, int64_t *tags, int32_t *lens) {
+    Tlb t;
+    if (tlb_init(&t, entries, sets, assoc)) {
+        tlb_free(&t);
+        return FS_ERR_INTERNAL;
+    }
+    mt_load(&t.rng, rng_state);
+    for (int64_t i = 0; i < n; i++) tlb_access(&t, pages[i]);
+    memcpy(tags, t.tags, (size_t)(sets * assoc) * sizeof(int64_t));
+    memcpy(lens, t.len, (size_t)sets * sizeof(int32_t));
+    memcpy(rng_state, t.rng.mt, MT_N * sizeof(uint32_t));
+    rng_state[MT_N] = (uint32_t)t.rng.index;
+    int64_t misses = t.misses;
+    tlb_free(&t);
+    return misses;
 }
 
 /* ------------------------------------------------------------------ */

@@ -71,6 +71,18 @@ def get_numpy():
     return _numpy_module or None
 
 
+def _compiled_backend():
+    """The compiled fastsim backend, or None.
+
+    Imported lazily: :mod:`repro.core.timing_kernels` imports this
+    module for :func:`get_numpy`, so a top-level import would be
+    circular.  ``get_backend`` honors ``REPRO_NO_NUMBA`` per call.
+    """
+    from repro.core.timing_kernels import get_backend
+
+    return get_backend()
+
+
 def _buffer_geometry(entries: int, organization: Organization) -> Tuple[int, int]:
     """(assoc, sets) for one bank member, mirroring TranslationBank."""
     if entries <= 0 or entries & (entries - 1):
@@ -89,7 +101,16 @@ class ReplayStream:
     every design point replayed from it (the dense-id relabelling and
     the page array are config-independent)."""
 
-    __slots__ = ("pages", "_np", "_arr", "_ids", "_ids_list", "_pages_list", "_unique")
+    __slots__ = (
+        "pages",
+        "_np",
+        "_arr",
+        "_ids",
+        "_ids_list",
+        "_pages_list",
+        "_unique",
+        "_i64",
+    )
 
     def __init__(self, pages: Sequence[int]) -> None:
         self.pages = pages
@@ -99,6 +120,7 @@ class ReplayStream:
         self._ids_list = None
         self._pages_list = None
         self._unique = 0
+        self._i64 = None
 
     def __len__(self) -> int:
         return len(self.pages)
@@ -108,6 +130,18 @@ class ReplayStream:
         if self._arr is None:
             self._arr = self._np.asarray(self.pages, dtype=self._np.uint64)
         return self._arr
+
+    def _pages_i64(self):
+        """The stream as a signed-64 column (the compiled kernel's input
+        type); converted once per stream, shared by every design point."""
+        if self._i64 is None:
+            if self._np is not None:
+                self._i64 = self._np.asarray(self.pages, dtype=self._np.int64)
+            else:
+                import array as _array
+
+                self._i64 = _array.array("q", self.pages)
+        return self._i64
 
     def _dense_ids(self):
         """Pages relabelled to 0..U-1 so residency fits a flat table."""
@@ -124,11 +158,44 @@ class ReplayStream:
         """Miss count for one design point, bit-identical to the scalar
         :class:`TranslationBuffer` fed the same stream with ``rng``."""
         assoc, sets = _buffer_geometry(entries, organization)
+        if self.pages:
+            compiled = _compiled_backend()
+            if compiled is not None:
+                return self._compiled_misses(entries, assoc, sets, rng, compiled)
         if self._np is None or not self.pages:
             return _scalar_misses(self.pages, entries, organization, assoc, rng)
         if assoc == 1:
             return self._direct_mapped_misses(sets)
         return self._random_replacement_misses(assoc, sets, rng)
+
+    def _compiled_misses(self, entries: int, assoc: int, sets: int, rng, compiled) -> int:
+        """One ``fs_bank_run`` call — the compiled sweep engine's bank
+        kernel replaying this stream through one buffer geometry.  The
+        RNG is advanced exactly as the scalar buffer would (the C side
+        runs the same rejection-sampled victim draws)."""
+        from repro.core import timing_kernels as tk
+
+        ffi, lib = compiled.ffi, compiled.lib
+        pages = self._pages_i64()
+        rng_words = tk.rng_state_words(rng)
+        tags = ffi.new("int64_t[]", sets * assoc)
+        lens = ffi.new("int32_t[]", sets)
+        count = int(
+            lib.fs_bank_run(
+                entries,
+                sets,
+                assoc,
+                ffi.from_buffer("uint32_t[]", rng_words),
+                ffi.from_buffer("int64_t[]", pages),
+                len(pages),
+                tags,
+                lens,
+            )
+        )
+        if count < 0:
+            raise MemoryError("compiled bank replay: allocation failed")
+        tk.load_rng_state(rng, rng_words)
+        return count
 
     def _direct_mapped_misses(self, sets: int) -> int:
         np = self._np

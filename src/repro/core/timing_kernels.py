@@ -37,7 +37,10 @@ import subprocess
 import tempfile
 from typing import Iterable, List, Optional, Tuple
 
+from collections import OrderedDict
+
 from repro.core.replay import get_numpy
+from repro.core.schemes import TapPoint
 from repro.system.refs import BARRIER
 
 #: Set non-empty to force the scalar timing engine even when the
@@ -89,6 +92,11 @@ int64_t fs_translation_accum(FastSim *s);
 int64_t fs_active_block(FastSim *s);
 void fs_rng_selftest(const uint32_t *state, uint32_t *out, int n);
 void fs_shuffle_selftest(const uint32_t *state, int32_t *arr, int len);
+int fs_set_capture(FastSim *s, int enable);
+int64_t fs_cap_count(FastSim *s, int tap, int node);
+const int64_t *fs_cap_data(FastSim *s, int tap, int node);
+int64_t fs_bank_run(int64_t entries, int64_t sets, int64_t assoc, uint32_t *rng_state,
+                    const int64_t *pages, int64_t n, int64_t *tags, int32_t *lens);
 int64_t fs_trace_render(const char *stream, int64_t nbytes,
                         const int32_t *nslots, const int32_t *kind_off,
                         const char *kinds,
@@ -152,6 +160,18 @@ TAP_L1 = 1
 TAP_L2 = 2
 TAP_L3 = 3
 TAP_HOME = 4
+
+#: Capture-mode tap streams in C index order (the SW_* defines): the
+#: six observation points an uncoupled sweep agent records, matching
+#: :class:`repro.core.schemes.TapPoint` member order.
+SWEEP_TAPS = (
+    TapPoint.L0,
+    TapPoint.L1,
+    TapPoint.L2,
+    TapPoint.L2_NO_WBACK,
+    TapPoint.L3,
+    TapPoint.HOME,
+)
 
 # AM line states, in C numeric order (AMState enum value strings).
 AM_STATES = ("invalid", "shared", "master_shared", "exclusive")
@@ -345,6 +365,121 @@ def materialize_stream(stream: Iterable[Tuple[int, int]]):
         vals = numpy.fromiter(vals_list, dtype=numpy.int64, count=count)
         return ops, vals
     return array.array("B", ops_list), array.array("q", vals_list)
+
+
+# ---------------------------------------------------------------------------
+# grid-level stream sharing
+# ---------------------------------------------------------------------------
+
+#: Size cap (in MiB) for the in-process materialized-stream LRU.
+STREAM_CACHE_ENV = "REPRO_STREAM_CACHE_MB"
+
+_STREAM_CACHE_DEFAULT_MB = 256.0
+
+
+class StreamCache:
+    """Size-capped in-process LRU of materialized ``(ops, vals)`` columns.
+
+    A sweep/timing grid varies scheme, TLB/DLB geometry, and page size
+    across cells, but every cell of the same workload drains the *same*
+    reference stream — regeneration per cell is pure waste.  Columns are
+    therefore keyed by ``(stream_key, node, kind)`` where ``stream_key``
+    identifies the workload recipe (``JobSpec.trace_hash()`` in grid
+    runs — the spec identity *minus* bank sizes/orgs and timing knobs)
+    and ``kind`` is the materialization flavor (numpy vs ``array``, so a
+    ``REPRO_NO_NUMPY`` flip never serves the wrong representation).
+
+    Consumers treat cached columns as immutable — the compiled engine
+    only ever reads them (``const`` columns in C), and the scalar path
+    never sees them.  The byte cap (:data:`STREAM_CACHE_ENV`, default
+    256 MiB) is read per call so tests can shrink it at runtime.
+    """
+
+    __slots__ = ("_entries", "_bytes", "hits", "misses", "evictions")
+
+    def __init__(self) -> None:
+        self._entries: "OrderedDict" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def max_bytes() -> int:
+        raw = os.environ.get(STREAM_CACHE_ENV)
+        try:
+            mb = float(raw) if raw else _STREAM_CACHE_DEFAULT_MB
+        except ValueError:
+            mb = _STREAM_CACHE_DEFAULT_MB
+        return int(mb * 1024 * 1024)
+
+    @staticmethod
+    def _cost(columns) -> int:
+        ops, vals = columns
+        return len(ops) + 8 * len(vals)  # u8 + i64 per reference
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry[0]
+
+    def put(self, key, columns) -> None:
+        cap = self.max_bytes()
+        cost = self._cost(columns)
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= old[1]
+        if cost > cap:
+            return  # larger than the whole cache: never resident
+        self._entries[key] = (columns, cost)
+        self._bytes += cost
+        while self._bytes > cap and self._entries:
+            _, (_, freed) = self._entries.popitem(last=False)
+            self._bytes -= freed
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_stream_cache = StreamCache()
+
+
+def stream_cache() -> StreamCache:
+    """The process-wide materialized-stream LRU."""
+    return _stream_cache
+
+
+def materialize_shared(stream_key, node: int, stream_factory):
+    """Materialize one node's columns, shared across a grid via the LRU.
+
+    ``stream_factory`` is a zero-argument callable producing the
+    ``(op, value)`` iterable; it is only invoked on a cache miss.  With
+    ``stream_key=None`` (no workload identity available) the cache is
+    bypassed entirely.
+    """
+    if stream_key is None:
+        return materialize_stream(stream_factory())
+    kind = "numpy" if get_numpy() is not None else "array"
+    key = (stream_key, node, kind)
+    columns = _stream_cache.get(key)
+    if columns is not None:
+        return columns
+    columns = materialize_stream(stream_factory())
+    _stream_cache.put(key, columns)
+    return columns
 
 
 def sync_positions(ops) -> List[int]:

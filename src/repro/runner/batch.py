@@ -425,6 +425,9 @@ class BatchRunner:
             spec = specs[index]
             self.simulations_run += 1
             stats.simulations += 1
+            backend = getattr(summary, "backend", None)
+            if backend:
+                stats.backends[backend] = stats.backends.get(backend, 0) + 1
             if self.cache is not None:
                 self.cache.put(spec, summary, elapsed=elapsed)
             if manifest is not None:

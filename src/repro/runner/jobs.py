@@ -181,6 +181,11 @@ class JobSpec:
         from repro.analysis.experiments import run_miss_sweep, run_timing
         from repro.runner.summary import RunSummary
 
+        # The trace hash doubles as the stream-LRU key: it identifies
+        # the workload recipe minus bank sizes/orgs and timing knobs,
+        # so every grid cell sharing a workload shares its materialized
+        # reference columns.
+        stream_key = self.trace_hash()
         if self.kind == KIND_SWEEP:
             orgs = tuple(Organization(value) for value in self.orgs)
             if replay:
@@ -192,6 +197,7 @@ class JobSpec:
                         self.params,
                         self.build_workload(),
                         max_refs_per_node=self.max_refs_per_node,
+                        stream_key=stream_key,
                     )
                     if trace_store is not None:
                         trace_store.put(self, traces)
@@ -202,6 +208,7 @@ class JobSpec:
                 sizes=self.sizes,
                 orgs=orgs,
                 max_refs_per_node=self.max_refs_per_node,
+                stream_key=stream_key,
             )
         else:
             result = run_timing(
@@ -213,6 +220,7 @@ class JobSpec:
                 include_l2_writebacks=self.include_l2_writebacks,
                 max_refs_per_node=self.max_refs_per_node,
                 contention=self.contention,
+                stream_key=stream_key,
             )
         return RunSummary.from_result(result)
 

@@ -42,6 +42,11 @@ class GridStats:
     deterministic_failures: int = 0
     #: Labels of jobs that ended as :class:`JobFailure`s.
     failure_labels: List[str] = field(default_factory=list)
+    #: Engine mix: summary ``backend`` value -> number of jobs that
+    #: executed on it this run (cache/manifest restores not counted —
+    #: they ran nothing).  Keys are e.g. "compiled", "scalar",
+    #: "compiled+replay".
+    backends: Dict[str, int] = field(default_factory=dict)
     #: Wall-clock duration of the whole :meth:`BatchRunner.run` call.
     wall_seconds: float = 0.0
     #: Summed per-job execution time (cache/manifest restores count 0).
@@ -96,6 +101,11 @@ class GridStats:
             parts.append(f"{self.timeouts} timed out")
         if self.worker_deaths:
             parts.append(f"{self.worker_deaths} worker deaths")
+        if self.backends:
+            mix = ", ".join(
+                f"{count} {name}" for name, count in sorted(self.backends.items())
+            )
+            parts.append(f"engines: {mix}")
         text = ", ".join(parts)
         if self.jobs_clamped:
             text += (
@@ -147,6 +157,12 @@ class GridStats:
         registry.gauge(
             "repro_runner_utilization", help="job_seconds / (wall * workers)"
         ).set(round(self.utilization, 4))
+        engines = registry.counter(
+            "repro_runner_backend_jobs_total",
+            help="executed jobs by simulator engine",
+        )
+        for name, count in sorted(self.backends.items()):
+            engines.inc(count, backend=name)
         return registry
 
     def to_dict(self) -> Dict:
@@ -168,6 +184,7 @@ class GridStats:
             "requested_jobs": self.requested_jobs,
             "jobs_clamped": self.jobs_clamped,
             "utilization": self.utilization,
+            "backends": dict(self.backends),
         }
 
 
@@ -193,6 +210,7 @@ class RunSummary:
         "read_latency",
         "write_latency",
         "backend",
+        "fallback_reason",
     )
 
     def __init__(
@@ -209,6 +227,7 @@ class RunSummary:
         read_latency: Optional[LatencyHistogram] = None,
         write_latency: Optional[LatencyHistogram] = None,
         backend: Optional[str] = None,
+        fallback_reason: Optional[str] = None,
     ) -> None:
         self.scheme = scheme
         self.workload_name = workload_name
@@ -224,9 +243,14 @@ class RunSummary:
         self.read_latency = read_latency
         self.write_latency = write_latency
         #: Which simulator engine ran: "compiled" (columnar fast path)
-        #: or "scalar" (the differential-testing oracle).  None on
+        #: or "scalar" (the differential-testing oracle); replayed sweep
+        #: summaries report "<capture backend>+replay".  None on
         #: summaries deserialized from pre-1.6 cache files.
         self.backend = backend
+        #: Why the scalar engine ran (None on the fast path; e.g.
+        #: "fast=False" or "REPRO_NO_FAST_SWEEP").  None on summaries
+        #: deserialized from pre-1.7 cache files.
+        self.fallback_reason = fallback_reason
 
     # ------------------------------------------------------------------
     @classmethod
@@ -245,6 +269,7 @@ class RunSummary:
             read_latency=result.read_latency_histogram(),
             write_latency=result.write_latency_histogram(),
             backend=getattr(result, "backend", None),
+            fallback_reason=getattr(result, "fallback_reason", None),
         )
 
     def with_study(self, study: Optional[StudyResults]) -> "RunSummary":
@@ -264,6 +289,7 @@ class RunSummary:
             read_latency=self.read_latency,
             write_latency=self.write_latency,
             backend=self.backend,
+            fallback_reason=self.fallback_reason,
         )
 
     # -- RunResult-compatible surface -----------------------------------
@@ -329,6 +355,7 @@ class RunSummary:
             "counters": dict(self.counters),
             "timing": self.timing,
             "backend": self.backend,
+            "fallback_reason": self.fallback_reason,
             "study": self.study.to_dict() if self.study is not None else None,
             "read_latency": (
                 self.read_latency.to_dict() if self.read_latency is not None else None
@@ -353,6 +380,7 @@ class RunSummary:
             counters=data["counters"],
             timing=data.get("timing"),
             backend=data.get("backend"),
+            fallback_reason=data.get("fallback_reason"),
             study=StudyResults.from_dict(study) if study is not None else None,
             read_latency=(
                 LatencyHistogram.from_dict(read_latency)

@@ -36,6 +36,10 @@ from repro.system.results import RunResult
 #: Set non-empty to force the scalar engine (CLI ``--no-fast-timing``).
 NO_FAST_ENV = "REPRO_NO_FAST_TIMING"
 
+#: Set non-empty to force the scalar engine for uncoupled sweep/capture
+#: runs (CLI ``--no-fast-sweep``).
+NO_FAST_SWEEP_ENV = "REPRO_NO_FAST_SWEEP"
+
 _TAP_CODE = {
     TapPoint.L0: tk.TAP_L0,
     TapPoint.L1: tk.TAP_L1,
@@ -54,15 +58,29 @@ def _pow2_at_least(n: int) -> int:
     return size
 
 
+def _is_sweep_agent(agent) -> bool:
+    """True for the uncoupled sweep instruments (StudyAgent records the
+    full miss surface, CaptureAgent records raw tap streams) — the
+    agents the capture-mode fast path reproduces."""
+    from repro.system.taps import StudyAgent
+    from repro.system.taptrace import CaptureAgent
+
+    return type(agent) in (StudyAgent, CaptureAgent)
+
+
 def fallback_reason(simulator) -> Optional[str]:
     """None when the compiled fast path can reproduce this run exactly;
     otherwise a short human-readable reason for staying scalar."""
-    if os.environ.get(NO_FAST_ENV):
-        return f"disabled ({NO_FAST_ENV})"
     from repro.system.machine import Machine
     from repro.system.taps import TimingAgent
 
     machine = simulator.machine
+    sweep_agent = _is_sweep_agent(machine.agent)
+    if sweep_agent:
+        if os.environ.get(NO_FAST_SWEEP_ENV):
+            return f"disabled ({NO_FAST_SWEEP_ENV})"
+    elif os.environ.get(NO_FAST_ENV):
+        return f"disabled ({NO_FAST_ENV})"
     if type(machine) is not Machine:
         return f"custom machine type {type(machine).__name__}"
     if (
@@ -92,7 +110,7 @@ def fallback_reason(simulator) -> Optional[str]:
             Organization.DIRECT_MAPPED,
         ):
             return f"unsupported TLB organization {agent.organization.value}"
-    elif type(agent) is not TranslationAgent:
+    elif not sweep_agent and type(agent) is not TranslationAgent:
         return f"unsupported agent {type(agent).__name__}"
     if tk.get_backend() is None:
         return f"compiled backend unavailable: {tk.backend_status()}"
@@ -177,6 +195,8 @@ def run_fast(simulator) -> RunResult:
     if handle == ffi.NULL:
         raise MemoryError("fast timing engine allocation failed")
     try:
+        if _is_sweep_agent(agent) and lib.fs_set_capture(handle, 1) != 0:
+            raise MemoryError("fast sweep engine: capture allocation failed")
         return _drive(simulator, ffi, lib, handle, swords, think, timing_agent)
     finally:
         lib.fs_destroy(handle)
@@ -190,11 +210,16 @@ def _drive(simulator, ffi, lib, handle, swords, think, timing_agent) -> RunResul
     count = machine.params.nodes
 
     # -- load the snapshot ----------------------------------------------
-    # Streams: materialized columns; `keep` pins the arrays and their
-    # cffi views for the lifetime of the run (C holds raw pointers).
+    # Streams: materialized columns (shared across grid cells through
+    # the stream LRU when the caller supplied a workload identity);
+    # `keep` pins the arrays and their cffi views for the lifetime of
+    # the run (C holds raw pointers).
+    stream_key = getattr(simulator, "stream_key", None)
     keep = []
     for n in range(count):
-        ops, vals = tk.materialize_stream(machine.node_stream(n))
+        ops, vals = tk.materialize_shared(
+            stream_key, n, lambda node=n: machine.node_stream(node)
+        )
         length = len(ops)
         if length:
             ops_view = ffi.from_buffer("uint8_t[]", ops)
@@ -402,6 +427,8 @@ def _drive(simulator, ffi, lib, handle, swords, think, timing_agent) -> RunResul
 
     if timing_agent:
         _load_tlbs(ffi, lib, handle, agent, count)
+    elif _is_sweep_agent(agent):
+        _load_sweep_agent(ffi, lib, handle, agent, count)
 
     rng_out = ffi.new("uint32_t[]", tk.RNG_STATE_WORDS)
     lib.fs_export_engine_rng(handle, rng_out)
@@ -472,6 +499,106 @@ def _load_directory(ffi, lib, handle, machine, swords: int) -> None:
     lib.fs_export_dir_lookups(handle, lookups)
     for home in range(count):
         engine.directories[home].lookups += int(lookups[home])
+
+
+def _load_sweep_agent(ffi, lib, handle, agent, count: int) -> None:
+    """Rebuild a sweep agent's state from the captured tap streams.
+
+    For a :class:`~repro.system.taps.StudyAgent`, every bank member is
+    replayed over its ``(tap, node)`` stream with one ``fs_bank_run``
+    call — banks never interact, and each member draws victims from its
+    own RNG substream, so per-stream replay reproduces the coupled
+    scalar run's miss counts, buffer contents, and RNG states exactly.
+    The lazy-counter convention is preserved: the *bank* access counter
+    is set (the scalar fan-out bumps only it) while member buffers keep
+    ``accesses == 0`` until a reader syncs them.
+
+    For a :class:`~repro.system.taptrace.CaptureAgent`, the raw streams
+    are copied out into its per-tap column arrays.
+    """
+    from repro.system.taps import StudyAgent
+
+    if type(agent) is StudyAgent:
+        _load_study_agent(ffi, lib, handle, agent, count)
+    else:
+        _load_capture_agent(ffi, lib, handle, agent, count)
+
+
+def _load_study_agent(ffi, lib, handle, agent, count: int) -> None:
+    total_references = 0
+    for tap_index, tap in enumerate(tk.SWEEP_TAPS):
+        for n in range(count):
+            length = int(lib.fs_cap_count(handle, tap_index, n))
+            if tap is TapPoint.L0:
+                total_references += length
+            bank = agent._banks[(tap, n)]
+            bank.accesses += length
+            if not length:
+                continue
+            pages = lib.fs_cap_data(handle, tap_index, n)
+            for buffer in bank._buffer_list:
+                _run_bank(ffi, lib, buffer, pages, length)
+    agent.total_references += total_references
+
+
+def _run_bank(ffi, lib, buffer, pages, length: int) -> None:
+    """One fs_bank_run call: replay a recorded stream through one
+    TranslationBuffer, importing misses, contents, and RNG state."""
+    rng_words = tk.rng_state_words(buffer._rng)
+    assoc = buffer.assoc
+    sets = buffer.sets
+    tags = ffi.new("int64_t[]", sets * assoc)
+    lens = ffi.new("int32_t[]", sets)
+    misses = int(
+        lib.fs_bank_run(
+            buffer.entries,
+            sets,
+            assoc,
+            ffi.from_buffer("uint32_t[]", rng_words),
+            pages,
+            length,
+            tags,
+            lens,
+        )
+    )
+    if misses < 0:
+        raise MemoryError("fast sweep engine: bank allocation failed")
+    buffer.misses += misses
+    new_tags = []
+    where = {}
+    for set_idx in range(sets):
+        ways = [int(tags[set_idx * assoc + w]) for w in range(int(lens[set_idx]))]
+        new_tags.append(ways)
+        for way, page in enumerate(ways):
+            where[page] = (set_idx, way)
+    buffer._tags = new_tags
+    buffer._where = where
+    tk.load_rng_state(buffer._rng, rng_words)
+
+
+def _load_capture_agent(ffi, lib, handle, agent, count: int) -> None:
+    per_tap = {
+        TapPoint.L0: agent._l0,
+        TapPoint.L1: agent._l1,
+        TapPoint.L2: agent._l2,
+        TapPoint.L2_NO_WBACK: agent._l2_no_wback,
+        TapPoint.L3: agent._l3,
+        TapPoint.HOME: agent._home,
+    }
+    total_references = 0
+    for tap_index, tap in enumerate(tk.SWEEP_TAPS):
+        columns = per_tap[tap]
+        for n in range(count):
+            length = int(lib.fs_cap_count(handle, tap_index, n))
+            if tap is TapPoint.L0:
+                total_references += length
+            if not length:
+                continue
+            pages = lib.fs_cap_data(handle, tap_index, n)
+            # Captured pages are non-negative int64s; a native-order
+            # bulk copy into the agent's u8 columns is exact.
+            columns[n].frombytes(ffi.buffer(pages, 8 * length))
+    agent.total_references += total_references
 
 
 def _load_tlbs(ffi, lib, handle, agent, count: int) -> None:

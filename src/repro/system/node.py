@@ -59,6 +59,10 @@ class Node:
         "_trace",
         "_ref_begin",
         "_ref_end",
+        # Per-instance entry point: bound once in __init__ to the traced
+        # or untraced implementation, so the sweep inner loop pays no
+        # per-reference is-None check.
+        "reference",
     )
 
     def __init__(
@@ -123,20 +127,24 @@ class Node:
             )
         else:
             self._ref_begin = self._ref_end = None
+        #: Main entry point, one load or store per call.  Bound to the
+        #: traced or untraced body here, once, instead of branching on
+        #: the tracer inside the per-reference hot path.
+        self.reference = (
+            self._traced_reference if trace is not None else self._untraced_reference
+        )
 
     # ------------------------------------------------------------------
     # main entry: one load or store
     # ------------------------------------------------------------------
-    def reference(self, op_is_write: bool, vaddr: int, now: int) -> int:
+    def _untraced_reference(self, op_is_write: bool, vaddr: int, now: int) -> int:
         """Process one memory reference; updates the node's time
         breakdown and returns the cycles consumed (stall + translation).
 
         Under ``relaxed_writes`` stores complete in the coherence system
         as usual, but the processor does not wait: their cycles are
         recorded in the ``hidden_store_cycles`` counter and zero is
-        returned."""
-        if self._trace is not None:
-            return self._traced_reference(op_is_write, vaddr, now)
+        returned.  Reached as ``node.reference`` on untraced nodes."""
         if op_is_write and self.relaxed_writes:
             breakdown = self.breakdown
             before = (breakdown.loc_stall, breakdown.rem_stall, breakdown.tlb_stall)
@@ -154,9 +162,10 @@ class Node:
 
     def _traced_reference(self, op_is_write: bool, vaddr: int, now: int) -> int:
         """One reference wrapped in a "ref" span; mirrors
-        :meth:`reference`'s untraced body between the span emitters
+        :meth:`_untraced_reference`'s body between the span emitters
         (protocol spans still nest — the engine holds its own reference
-        to the same tracer)."""
+        to the same tracer).  Reached as ``node.reference`` on traced
+        nodes."""
         breakdown = self.breakdown
         tlb_before = breakdown.tlb_stall
         self._ref_begin(now, self.id, op_is_write, vaddr >> self._page_bits)

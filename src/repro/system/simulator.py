@@ -42,6 +42,7 @@ class Simulator:
         check_invariants_every: int = 0,
         phase_every: int = 2048,
         fast: bool = True,
+        stream_key: Optional[str] = None,
     ) -> None:
         self.machine = machine
         self.max_refs_per_node = max_refs_per_node
@@ -52,6 +53,11 @@ class Simulator:
         #: Try the compiled columnar engine first (bit-identical; see
         #: repro.system.fast_simulator).  False forces the scalar path.
         self.fast = fast
+        #: Optional workload identity (``JobSpec.trace_hash()`` in grid
+        #: runs) keying the materialized-column LRU, so grid cells that
+        #: share a workload materialize its streams once.  None bypasses
+        #: the cache.
+        self.stream_key = stream_key
         #: After run(): "compiled" or "scalar".
         self.backend: Optional[str] = None
         #: After run(): why the scalar path was used (None on the fast

@@ -287,13 +287,18 @@ def capture_tap_traces(
     params: MachineParams,
     workload: Workload,
     max_refs_per_node: Optional[int] = None,
+    fast: bool = True,
+    stream_key: Optional[str] = None,
 ) -> TapTraceSet:
     """Run the hierarchy once, recording every translation tap.
 
     The machine is configured exactly as :func:`run_miss_sweep`'s
     (V-COMA hierarchy — every scheme's tap stream can be read off it),
     so the recorded streams and base summary match a scalar sweep run
-    bit for bit.
+    bit for bit.  The capture prefers the compiled engine's capture
+    mode (``fast=False`` forces the scalar reference path — identical
+    streams either way); ``stream_key`` keys the materialized-column
+    LRU for grid-level stream sharing.
     """
     from repro.system.machine import Machine
     from repro.system.simulator import Simulator
@@ -301,7 +306,9 @@ def capture_tap_traces(
 
     agent = CaptureAgent(params)
     machine = Machine(params, Scheme.V_COMA, workload, agent=agent)
-    result = Simulator(machine, max_refs_per_node=max_refs_per_node).run()
+    result = Simulator(
+        machine, max_refs_per_node=max_refs_per_node, fast=fast, stream_key=stream_key
+    ).run()
     return TapTraceSet(
         nodes=params.nodes,
         seed=params.seed,
@@ -358,5 +365,10 @@ def replay_study(
 
 def replay_summary(traces: TapTraceSet, sizes, orgs):
     """A sweep :class:`~repro.runner.summary.RunSummary`: the recorded
-    hierarchy summary with the replayed study surface attached."""
-    return traces.base.with_study(replay_study(traces, sizes, orgs))
+    hierarchy summary with the replayed study surface attached.  The
+    ``backend`` stamp records both halves of the pipeline — e.g.
+    ``"compiled+replay"`` when the capture ran on the fast engine."""
+    summary = traces.base.with_study(replay_study(traces, sizes, orgs))
+    capture_backend = summary.backend or "scalar"
+    summary.backend = f"{capture_backend}+replay"
+    return summary

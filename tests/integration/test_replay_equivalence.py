@@ -27,6 +27,15 @@ ORGS = (
 )
 
 
+def surface(summary):
+    """Everything simulated — the engine-provenance stamps are allowed
+    (expected, even) to differ between the replay and scalar paths."""
+    data = summary.to_dict()
+    data.pop("backend", None)
+    data.pop("fallback_reason", None)
+    return data
+
+
 @pytest.fixture(scope="module")
 def params():
     return MachineParams.scaled_down(factor=256, nodes=2, page_size=256)
@@ -102,8 +111,8 @@ class TestBitIdentical:
     ):
         """Time breakdowns/counters come from the recorded run and must
         equal the scalar run's (the capture agent never perturbs)."""
-        assert (
-            replay_summaries[workload].to_dict() == scalar_summaries[workload].to_dict()
+        assert surface(replay_summaries[workload]) == surface(
+            scalar_summaries[workload]
         )
 
 
@@ -118,8 +127,8 @@ class TestThroughTraceStore:
         assert store.misses == 1 and len(store) == 1
         reloaded = spec.execute(trace_store=store, replay=True)
         assert store.hits == 1
-        assert recorded.to_dict() == scalar_summaries["radix"].to_dict()
-        assert reloaded.to_dict() == scalar_summaries["radix"].to_dict()
+        assert surface(recorded) == surface(scalar_summaries["radix"])
+        assert surface(reloaded) == surface(scalar_summaries["radix"])
 
     def test_one_trace_serves_many_bank_grids(self, tmp_path, params):
         """Different sizes/orgs reuse the recording and still match."""
@@ -137,4 +146,4 @@ class TestThroughTraceStore:
         fast = second.execute(trace_store=store, replay=True)
         assert store.hits == 1 and len(store) == 1, "second grid must reuse the trace"
         slow = second.execute(replay=False)
-        assert fast.to_dict() == slow.to_dict()
+        assert surface(fast) == surface(slow)

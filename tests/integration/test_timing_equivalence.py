@@ -42,9 +42,10 @@ def params():
 
 
 def summary_surface(result) -> dict:
-    """Everything RunSummary serializes, minus the engine tag itself."""
+    """Everything RunSummary serializes, minus the engine tags."""
     payload = RunSummary.from_result(result).to_dict()
     payload.pop("backend", None)
+    payload.pop("fallback_reason", None)
     return payload
 
 
