@@ -283,6 +283,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="raytrace only: page-aligned padding layout")
     add_machine_options(p)
 
+    p = sub.add_parser(
+        "doctor",
+        help="probe every engine tier and print the degradation ladder",
+    )
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable tier report instead of the ladder")
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential-fuzz the compiled engine against the scalar oracle",
+    )
+    p.add_argument("--cases", type=int, default=200,
+                   help="generated cases to execute (default 200)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="hypothesis seed (fixed seed = identical run)")
+    p.add_argument("--corpus", default=None,
+                   help="regression-corpus directory (default: the "
+                        "committed corpus inside the package)")
+    p.add_argument("--skip-replay", action="store_true",
+                   help="skip replaying the regression corpus first")
+    p.add_argument("--replay-only", action="store_true",
+                   help="only replay the corpus; generate nothing")
+
     return parser
 
 
@@ -567,6 +590,54 @@ def _cmd_status(args, out) -> int:
     return 0
 
 
+def _cmd_doctor(args, out) -> int:
+    """Probe each backend tier, print the resolved degradation ladder.
+
+    Exit status 0 while any accelerated tier is healthy; nonzero when
+    the pure-Python last resort is all that's left (every run would
+    silently crawl — that deserves a red CI light, not a footnote).
+    """
+    import json as json_mod
+
+    from repro.core.ladder import degradation_ladder, only_last_resort, render_ladder
+
+    ladder = degradation_ladder()
+    if args.json:
+        out.write(
+            json_mod.dumps([tier.to_dict() for tier in ladder], indent=2) + "\n"
+        )
+    else:
+        out.write(render_ladder(ladder) + "\n")
+    if only_last_resort(ladder):
+        sys.stderr.write(
+            "doctor: only the pure-Python last-resort tier is healthy\n"
+        )
+        return 1
+    return 0
+
+
+def _cmd_fuzz(args, out) -> int:
+    """Differential fuzzing: corpus replay, then generative search."""
+    from repro.fuzz import default_corpus_dir, fuzz, replay_corpus
+
+    corpus = Path(args.corpus) if args.corpus else default_corpus_dir()
+    failed = 0
+    if not args.skip_replay:
+        rows = replay_corpus(corpus)
+        for row in rows:
+            mark = "ok " if row["ok"] else "FAIL"
+            out.write(f"replay {mark} {row['name']}: {row['detail']}\n")
+            failed += not row["ok"]
+        out.write(
+            f"corpus: {len(rows) - failed}/{len(rows)} cases replayed clean\n"
+        )
+    if args.replay_only:
+        return 1 if failed else 0
+    report = fuzz(max_examples=args.cases, seed=args.seed, corpus_dir=corpus)
+    out.write(report.render() + "\n")
+    return 1 if (failed or not report.ok) else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     from repro.common.errors import RunInterrupted
 
@@ -614,6 +685,12 @@ def _dispatch(args, out) -> int:
 
     if args.command == "status":
         return _cmd_status(args, out)
+
+    if args.command == "doctor":
+        return _cmd_doctor(args, out)
+
+    if args.command == "fuzz":
+        return _cmd_fuzz(args, out)
 
     params = machine_params(args)
 

@@ -1456,6 +1456,8 @@ static int64_t node_reference(FastSim *s, int node, int is_write, int64_t vaddr,
 /* ------------------------------------------------------------------ */
 /* public API                                                          */
 /* ------------------------------------------------------------------ */
+void fs_destroy(FastSim *s);
+
 FastSim *fs_create(const int64_t *geom) {
     FastSim *s = (FastSim *)calloc(1, sizeof(FastSim));
     if (!s) return 0;
@@ -1509,33 +1511,55 @@ FastSim *fs_create(const int64_t *geom) {
     s->refs_done = (int64_t *)calloc(nodes, sizeof(int64_t));
     s->finished = (uint8_t *)calloc(nodes, sizeof(uint8_t));
     s->cand = (int32_t *)calloc(nodes, sizeof(int32_t));
-    if (!s->flc || !s->slc || !s->am || !s->cand) return 0;
+    /* Any failed calloc above, or any init below, releases the whole
+       partially-built struct (fs_destroy tolerates NULL members), so a
+       NULL return never leaks. */
+    if (!s->flc || !s->slc || !s->am || !s->dir_lookups || !s->node_ctr ||
+        !s->node_calls || !s->loc_stall || !s->rem_stall || !s->tlb_stall ||
+        !s->rh_buckets || !s->wh_buckets || !s->rh_count || !s->rh_total ||
+        !s->wh_count || !s->wh_total || !s->ops || !s->vals || !s->slen ||
+        !s->pos || !s->clock || !s->refs_done || !s->finished || !s->cand) {
+        fs_destroy(s);
+        return 0;
+    }
 
     for (int64_t n = 0; n < nodes; n++) {
-        if (lru_init(&s->flc[n], geom[GEOM_FLC_SETS], geom[GEOM_FLC_ASSOC], geom[GEOM_FLC_BLOCK]))
+        if (lru_init(&s->flc[n], geom[GEOM_FLC_SETS], geom[GEOM_FLC_ASSOC], geom[GEOM_FLC_BLOCK]) ||
+            lru_init(&s->slc[n], geom[GEOM_SLC_SETS], geom[GEOM_SLC_ASSOC], geom[GEOM_SLC_BLOCK]) ||
+            lru_init(&s->am[n], geom[GEOM_AM_SETS], geom[GEOM_AM_ASSOC], s->am_block)) {
+            fs_destroy(s);
             return 0;
-        if (lru_init(&s->slc[n], geom[GEOM_SLC_SETS], geom[GEOM_SLC_ASSOC], geom[GEOM_SLC_BLOCK]))
-            return 0;
-        if (lru_init(&s->am[n], geom[GEOM_AM_SETS], geom[GEOM_AM_ASSOC], s->am_block))
-            return 0;
+        }
     }
     int swords = (int)((nodes + 63) / 64);
-    if (dir_init(&s->dir, geom[GEOM_DIR_CAPACITY], swords)) return 0;
-    if (map_init(&s->vpn2pfn, geom[GEOM_MAP_CAPACITY])) return 0;
-    if (map_init(&s->pfn2vpn, geom[GEOM_MAP_CAPACITY])) return 0;
+    if (dir_init(&s->dir, geom[GEOM_DIR_CAPACITY], swords) ||
+        map_init(&s->vpn2pfn, geom[GEOM_MAP_CAPACITY]) ||
+        map_init(&s->pfn2vpn, geom[GEOM_MAP_CAPACITY])) {
+        fs_destroy(s);
+        return 0;
+    }
 
     s->ntlb = 0;
     if (s->tap != TAP_NONE) {
         s->ntlb = (int)nodes;
         s->tlbs = (Tlb *)calloc(s->ntlb, sizeof(Tlb));
-        if (!s->tlbs) return 0;
+        if (!s->tlbs) {
+            s->ntlb = 0;
+            fs_destroy(s);
+            return 0;
+        }
         for (int i = 0; i < s->ntlb; i++) {
             if (tlb_init(&s->tlbs[i], geom[GEOM_TLB_ENTRIES], geom[GEOM_TLB_SETS],
-                         geom[GEOM_TLB_ASSOC]))
+                         geom[GEOM_TLB_ASSOC])) {
+                fs_destroy(s);
                 return 0;
+            }
         }
     }
-    if (heap_init(&s->heap, (int)(nodes * 2 + 8))) return 0;
+    if (heap_init(&s->heap, (int)(nodes * 2 + 8))) {
+        fs_destroy(s);
+        return 0;
+    }
     for (int64_t n = 0; n < nodes; n++) {
         heap_push(&s->heap, 0, (int32_t)n);
     }
@@ -1544,12 +1568,13 @@ FastSim *fs_create(const int64_t *geom) {
 }
 
 void fs_destroy(FastSim *s) {
+    /* Must also release partially-built structs from a failed
+       fs_create: every per-node array may be NULL, and zeroed members
+       free cleanly (free(NULL) is a no-op everywhere below). */
     if (!s) return;
-    for (int64_t n = 0; n < s->nodes; n++) {
-        lru_free(&s->flc[n]);
-        lru_free(&s->slc[n]);
-        lru_free(&s->am[n]);
-    }
+    for (int64_t n = 0; s->flc && n < s->nodes; n++) lru_free(&s->flc[n]);
+    for (int64_t n = 0; s->slc && n < s->nodes; n++) lru_free(&s->slc[n]);
+    for (int64_t n = 0; s->am && n < s->nodes; n++) lru_free(&s->am[n]);
     free(s->flc);
     free(s->slc);
     free(s->am);

@@ -33,6 +33,8 @@ from __future__ import annotations
 import array
 import hashlib
 import os
+import random
+import shlex
 import subprocess
 import tempfile
 from typing import Iterable, List, Optional, Tuple
@@ -49,6 +51,14 @@ NO_NUMBA_ENV = "REPRO_NO_NUMBA"
 
 #: Override the shared-library cache directory.
 CACHE_ENV = "REPRO_FASTSIM_CACHE"
+
+#: Extra compiler flags (shlex-split), folded into the library digest so
+#: e.g. a ``-fsanitize=address,undefined`` build caches separately from
+#: the production ``-O2`` build (the CI sanitizer leg uses this).
+CFLAGS_ENV = "REPRO_FASTSIM_CFLAGS"
+
+#: Words drawn by the post-dlopen RNG self-test probe.
+_SELFTEST_DRAWS = 16
 
 _C_SOURCE = os.path.join(os.path.dirname(__file__), "fastsim.c")
 
@@ -229,17 +239,22 @@ RNG_STATE_WORDS = 625  # mt[624] + index, from random.Random.getstate()
 class CompiledBackend:
     """A loaded fastsim shared library plus its cffi FFI."""
 
-    __slots__ = ("ffi", "lib", "path")
+    __slots__ = ("ffi", "lib", "path", "digest")
 
-    def __init__(self, ffi, lib, path: str) -> None:
+    def __init__(self, ffi, lib, path: str, digest: str = "") -> None:
         self.ffi = ffi
         self.lib = lib
         self.path = path
+        #: Source+flags digest (the cache key in the library name).
+        self.digest = digest
 
 
 _backend: Optional[CompiledBackend] = None
 _backend_failure: Optional[str] = None
 _backend_resolved = False
+#: Library files quarantined this process (corrupt/stale ``.so``s moved
+#: aside by :func:`_build_library` / the self-test probe).
+_quarantined_libraries = 0
 
 
 def _cache_dir() -> str:
@@ -249,38 +264,146 @@ def _cache_dir() -> str:
     return os.path.join(os.path.expanduser("~"), ".cache", "repro-fastsim")
 
 
-def _source_digest(source: bytes) -> str:
-    return hashlib.sha256(source).hexdigest()[:16]
+def build_flags() -> List[str]:
+    """Extra gcc flags from :data:`CFLAGS_ENV` (shlex rules)."""
+    raw = os.environ.get(CFLAGS_ENV, "")
+    return shlex.split(raw) if raw else []
+
+
+def _source_digest(source: bytes, flags: Iterable[str] = ()) -> str:
+    hasher = hashlib.sha256(source)
+    for flag in flags:
+        hasher.update(b"\0" + flag.encode("utf-8"))
+    return hasher.hexdigest()[:16]
+
+
+def _file_digest(path: str) -> str:
+    hasher = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            hasher.update(chunk)
+    return hasher.hexdigest()
+
+
+def _sidecar_path(target: str) -> str:
+    return target + ".sha256"
+
+
+def _verify_library(target: str) -> Optional[str]:
+    """None when the cached ``.so`` matches its digest sidecar, else a
+    short reason why it must be quarantined and rebuilt."""
+    try:
+        with open(_sidecar_path(target)) as handle:
+            expected = handle.read().strip()
+    except OSError:
+        return "digest sidecar missing"
+    try:
+        actual = _file_digest(target)
+    except OSError as exc:
+        return f"unreadable ({exc})"
+    if actual != expected:
+        return "digest mismatch (corrupt or tampered binary)"
+    return None
+
+
+def quarantine_library(target: str, cache: Optional[str] = None) -> Optional[str]:
+    """Move a suspect ``.so`` (and its sidecar) aside; returns the new
+    path, or None if the file had already vanished.  Renames within the
+    cache dir, so a concurrent loader holding the old path is safe."""
+    global _quarantined_libraries
+    cache = cache or os.path.dirname(target)
+    name = os.path.basename(target)
+    dest = os.path.join(cache, f"{name}.corrupt-{os.getpid()}-{os.urandom(2).hex()}")
+    try:
+        os.replace(target, dest)
+    except OSError:
+        dest = None
+    try:
+        os.unlink(_sidecar_path(target))
+    except OSError:
+        pass
+    _quarantined_libraries += 1
+    from repro.obs import runtime as _runtime
+
+    _runtime.record_library_quarantine()
+    return dest
 
 
 def _build_library(source_path: str) -> str:
     """Compile fastsim.c into the cache dir; return the .so path.
 
-    The library name carries a source hash, so edits to the C file
-    force a rebuild while repeated runs reuse the cached binary.  The
-    build lands under a temp name and is moved in with ``os.replace``
-    so concurrent processes can race harmlessly.
+    The library name carries a hash of the source *and* the extra
+    :data:`CFLAGS_ENV` flags, so edits to the C file (or a sanitizer
+    build) force a rebuild while repeated runs reuse the cached binary.
+    The build lands under a temp name and is moved in with
+    ``os.replace`` so concurrent processes can race harmlessly, and a
+    ``.sha256`` sidecar records the binary's digest: a cached ``.so``
+    that fails re-verification (bit rot, torn write, tampering) is
+    quarantined and rebuilt instead of dlopen'd blind.
     """
     with open(source_path, "rb") as handle:
         source = handle.read()
+    flags = build_flags()
     cache = _cache_dir()
     os.makedirs(cache, exist_ok=True)
-    target = os.path.join(cache, f"fastsim-{_source_digest(source)}.so")
+    target = os.path.join(cache, f"fastsim-{_source_digest(source, flags)}.so")
     if os.path.exists(target):
-        return target
+        problem = _verify_library(target)
+        if problem is None:
+            return target
+        quarantine_library(target, cache)
     fd, tmp = tempfile.mkstemp(suffix=".so", dir=cache)
     os.close(fd)
     try:
         subprocess.run(
-            ["gcc", "-O2", "-shared", "-fPIC", "-o", tmp, source_path],
+            ["gcc", "-O2", "-shared", "-fPIC"] + flags + ["-o", tmp, source_path],
             check=True,
             capture_output=True,
         )
+        digest = _file_digest(tmp)
+        side_fd, side_tmp = tempfile.mkstemp(suffix=".sha256", dir=cache)
+        with os.fdopen(side_fd, "w") as handle:
+            handle.write(digest + "\n")
+        os.replace(side_tmp, _sidecar_path(target))
         os.replace(tmp, target)
     finally:
         if os.path.exists(tmp):
             os.unlink(tmp)
     return target
+
+
+def _self_test(ffi, lib) -> Optional[str]:
+    """Probe a freshly-loaded library before trusting it with a run.
+
+    Exercises the two pure functions whose correctness everything else
+    leans on — the Mersenne Twister core (must continue CPython's exact
+    draw sequence) and the Fisher-Yates shuffle (must match
+    ``random.shuffle``).  A miscompiled, truncated, or ABI-skewed
+    binary fails here instead of corrupting simulation results.
+    """
+    try:
+        rng = random.Random(0xC0A7)
+        words = rng.getstate()[1]
+        state = ffi.new("uint32_t[]", words)
+        out = ffi.new("uint32_t[]", _SELFTEST_DRAWS)
+        lib.fs_rng_selftest(state, out, _SELFTEST_DRAWS)
+        expected = [rng.getrandbits(32) for _ in range(_SELFTEST_DRAWS)]
+        got = [int(out[i]) for i in range(_SELFTEST_DRAWS)]
+        if got != expected:
+            return "MT19937 draw sequence diverges from random.Random"
+
+        rng = random.Random(0x5EED)
+        words = rng.getstate()[1]
+        state = ffi.new("uint32_t[]", words)
+        arr = ffi.new("int32_t[]", list(range(32)))
+        lib.fs_shuffle_selftest(state, arr, 32)
+        reference = list(range(32))
+        rng.shuffle(reference)
+        if [int(arr[i]) for i in range(32)] != reference:
+            return "shuffle diverges from random.shuffle"
+    except Exception as exc:  # missing symbol, bad pointer, ...
+        return f"probe crashed ({type(exc).__name__}: {exc})"
+    return None
 
 
 def _resolve_backend() -> None:
@@ -294,22 +417,46 @@ def _resolve_backend() -> None:
     if not os.path.exists(_C_SOURCE):
         _backend_failure = "fastsim.c missing"
         return
-    try:
-        library = _build_library(_C_SOURCE)
-    except (subprocess.CalledProcessError, FileNotFoundError, OSError) as exc:
-        detail = ""
-        if isinstance(exc, subprocess.CalledProcessError) and exc.stderr:
-            detail = ": " + exc.stderr.decode("utf-8", "replace").strip()[:200]
-        _backend_failure = f"compile failed ({type(exc).__name__}{detail})"
-        return
-    try:
-        ffi = cffi.FFI()
-        ffi.cdef(CDEF)
-        lib = ffi.dlopen(library)
-    except Exception as exc:  # dlopen / cdef problems are all terminal
-        _backend_failure = f"dlopen failed ({exc})"
-        return
-    _backend = CompiledBackend(ffi, lib, library)
+    # One retry: a cached .so that passes digest verification but fails
+    # the functional self-test is quarantined and rebuilt from source
+    # before the backend is declared unusable.
+    for attempt in (1, 2):
+        try:
+            library = _build_library(_C_SOURCE)
+        except (subprocess.CalledProcessError, FileNotFoundError, OSError) as exc:
+            detail = ""
+            if isinstance(exc, subprocess.CalledProcessError) and exc.stderr:
+                detail = ": " + exc.stderr.decode("utf-8", "replace").strip()[:200]
+            _backend_failure = f"compile failed ({type(exc).__name__}{detail})"
+            return
+        try:
+            ffi = cffi.FFI()
+            ffi.cdef(CDEF)
+            lib = ffi.dlopen(library)
+        except Exception as exc:  # dlopen / cdef problems
+            _backend_failure = f"dlopen failed ({exc})"
+            if attempt == 1:
+                quarantine_library(library)
+                continue
+            return
+        problem = _self_test(ffi, lib)
+        if problem is None:
+            digest = os.path.basename(library)[len("fastsim-"):-len(".so")]
+            _backend = CompiledBackend(ffi, lib, library, digest)
+            _backend_failure = None
+            return
+        _backend_failure = f"self-test failed ({problem})"
+        if attempt == 1:
+            quarantine_library(library)
+    # Both the cached and the freshly-rebuilt library failed.
+
+
+def reset_backend() -> None:
+    """Forget the cached resolution (tests and ``repro doctor``)."""
+    global _backend, _backend_failure, _backend_resolved
+    _backend = None
+    _backend_failure = None
+    _backend_resolved = False
 
 
 def get_backend() -> Optional[CompiledBackend]:
@@ -335,6 +482,25 @@ def backend_status() -> str:
     if _backend is not None:
         return "compiled"
     return _backend_failure or "unavailable"
+
+
+def backend_health() -> dict:
+    """Structured backend state for the degradation ladder and
+    ``repro doctor``: status, library path + digest, build flags, and
+    how many cached libraries this process has quarantined."""
+    status = backend_status()
+    info = {
+        "status": "ok" if status == "compiled" else "unavailable",
+        "detail": status,
+        "path": None,
+        "digest": None,
+        "cflags": build_flags(),
+        "quarantined_libraries": _quarantined_libraries,
+    }
+    if _backend is not None and not os.environ.get(NO_NUMBA_ENV):
+        info["path"] = _backend.path
+        info["digest"] = _backend.digest
+    return info
 
 
 # ---------------------------------------------------------------------------
@@ -455,6 +621,24 @@ class StreamCache:
 
 
 _stream_cache = StreamCache()
+
+
+def _clear_stream_cache_after_fork() -> None:
+    """Drop fork-inherited columns in child processes.
+
+    A forked ``BatchRunner`` worker inherits the parent's entries by
+    copy; keeping them would double-count the byte cap across the pool
+    and let parent/child LRU state silently diverge.  Children start
+    cold and repopulate their own cache (counters reset too, so
+    worker-local hit rates mean what they say)."""
+    _stream_cache.clear()
+    _stream_cache.hits = 0
+    _stream_cache.misses = 0
+    _stream_cache.evictions = 0
+
+
+if hasattr(os, "register_at_fork"):  # absent only on non-posix platforms
+    os.register_at_fork(after_in_child=_clear_stream_cache_after_fork)
 
 
 def stream_cache() -> StreamCache:

@@ -1,0 +1,42 @@
+"""Differential fuzzing of the compiled engine against the scalar oracle.
+
+The compiled columnar engine's contract is *bit-identical* results —
+not "close", identical down to LRU orders and Mersenne Twister states.
+The integration suite pins a curated matrix of cases; this package
+generates the rest: random machine geometries, scheme/workload
+combinations, and adversarial synchronization patterns (imbalanced
+barriers, lock convoys, truncation inside critical sections), each
+executed on both engines and compared with the deep machine-state
+oracle from :mod:`repro.fuzz.oracle`.
+
+* :mod:`repro.fuzz.strategies` — hypothesis strategies producing
+  JSON-serializable :class:`~repro.fuzz.harness.FuzzCase` objects.
+* :mod:`repro.fuzz.harness` — the driver: hypothesis-shrunk fuzzing
+  (:func:`~repro.fuzz.harness.fuzz`), single-case execution
+  (:func:`~repro.fuzz.harness.run_case`), and regression-corpus replay
+  (:func:`~repro.fuzz.harness.replay_corpus`).
+* ``corpus/`` — the committed regression corpus: every shrunk failing
+  case ever found is checked in here and replayed by CI forever.
+
+CLI surface: ``repro fuzz`` (see ``repro fuzz --help``).
+"""
+
+from repro.fuzz.harness import (
+    DifferentialMismatch,
+    FuzzCase,
+    FuzzReport,
+    default_corpus_dir,
+    fuzz,
+    replay_corpus,
+    run_case,
+)
+
+__all__ = [
+    "DifferentialMismatch",
+    "FuzzCase",
+    "FuzzReport",
+    "default_corpus_dir",
+    "fuzz",
+    "replay_corpus",
+    "run_case",
+]

@@ -241,18 +241,23 @@ class RunHistory:
 
     # -- writing -------------------------------------------------------
     def append(self, entry: HistoryEntry) -> HistoryEntry:
+        from repro.runner.locking import locked_append
+
         os.makedirs(self.root, exist_ok=True)
         line = json.dumps(entry.to_dict(), sort_keys=True, separators=(",", ":"))
         with open(self.path, "a+b") as handle:
             # A writer hard-killed mid-line leaves no trailing newline;
             # appending straight after it would corrupt THIS entry too.
+            # The torn-line repair and the append happen as one
+            # flock-guarded write so concurrent benchmark processes
+            # interleave whole lines only.
             size = handle.seek(0, os.SEEK_END)
+            payload = line.encode("utf-8") + b"\n"
             if size > 0:
                 handle.seek(size - 1)
                 if handle.read(1) != b"\n":
-                    handle.write(b"\n")
-            handle.write(line.encode("utf-8") + b"\n")
-            handle.flush()
+                    payload = b"\n" + payload
+            locked_append(handle, payload)
         return entry
 
     # -- reading -------------------------------------------------------

@@ -400,6 +400,7 @@ class BatchRunner:
         done = 0
         run_started = time.perf_counter()
         stats = self.stats = GridStats(total=total)
+        store_base = self._store_counters()
         if self.fault_plan is not None:
             self.fault_plan.arm()
 
@@ -428,6 +429,12 @@ class BatchRunner:
             backend = getattr(summary, "backend", None)
             if backend:
                 stats.backends[backend] = stats.backends.get(backend, 0) + 1
+            reason = getattr(summary, "fallback_reason", None)
+            # "fast=False" is a caller's choice, not a degradation.
+            if reason and reason != "fast=False":
+                stats.fallback_reasons[reason] = (
+                    stats.fallback_reasons.get(reason, 0) + 1
+                )
             if self.cache is not None:
                 self.cache.put(spec, summary, elapsed=elapsed)
             if manifest is not None:
@@ -509,10 +516,26 @@ class BatchRunner:
         finally:
             stats.wall_seconds = time.perf_counter() - run_started
             stats.workers = self.effective_jobs
+            quarantined, evicted, corrupt = self._store_counters()
+            stats.store_quarantined = quarantined - store_base[0]
+            stats.store_evictions = evicted - store_base[1]
+            stats.trace_corrupt_dropped = corrupt - store_base[2]
             if manifest is not None:
                 manifest.close()
 
         return results  # type: ignore[return-value]
+
+    def _store_counters(self) -> Tuple[int, int, int]:
+        """(quarantined, evicted, corrupt-traces) across this runner's
+        stores — sampled before/after a run to attribute the delta."""
+        quarantined = evicted = corrupt = 0
+        for store in (self.cache, self.trace_store):
+            if store is None:
+                continue
+            quarantined += getattr(store, "quarantined", 0)
+            evicted += getattr(store, "evictions", 0)
+            corrupt += getattr(store, "corrupt_dropped", 0)
+        return quarantined, evicted, corrupt
 
     # ------------------------------------------------------------------
     # in-process execution (jobs=1 or no fork)

@@ -29,9 +29,15 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.runner.jobs import JobSpec
+from repro.runner.locking import (
+    atomic_write_text,
+    quarantine_file,
+    recover_orphans,
+    store_lock,
+)
 from repro.runner.summary import RunSummary
 
 #: Environment override for the cache root.
@@ -75,13 +81,16 @@ def touch(path: Path) -> None:
         pass
 
 
-def evict_lru(root: Path, pattern: str, max_bytes: Optional[int]) -> int:
+def evict_lru(
+    root: Path, pattern: str, max_bytes: Optional[int], store: str = "cache"
+) -> Tuple[int, int]:
     """Delete oldest-mtime files matching ``pattern`` under ``root``
-    until their total size fits ``max_bytes``.  Returns bytes freed.
-    Concurrent deletion by another process is benign (missing files are
-    skipped)."""
+    until their total size fits ``max_bytes``.  Returns
+    ``(files_removed, bytes_freed)``; evictions are counted in the
+    runtime metrics registry under ``store``.  Concurrent deletion by
+    another process is benign (missing files are skipped)."""
     if max_bytes is None or not root.is_dir():
-        return 0
+        return 0, 0
     entries = []
     total = 0
     for path in root.glob(pattern):
@@ -92,8 +101,9 @@ def evict_lru(root: Path, pattern: str, max_bytes: Optional[int]) -> int:
         entries.append((stat.st_mtime, stat.st_size, path))
         total += stat.st_size
     freed = 0
+    removed = 0
     if total <= max_bytes:
-        return freed
+        return removed, freed
     entries.sort()
     for _, size, path in entries:
         if total - freed <= max_bytes:
@@ -101,9 +111,14 @@ def evict_lru(root: Path, pattern: str, max_bytes: Optional[int]) -> int:
         try:
             path.unlink()
             freed += size
+            removed += 1
         except OSError:
             continue
-    return freed
+    if removed:
+        from repro.obs.runtime import record_eviction
+
+        record_eviction(store, removed)
+    return removed, freed
 
 
 class ResultCache:
@@ -114,6 +129,9 @@ class ResultCache:
     means unlimited.
     """
 
+    #: Runtime-metrics label + quarantine reason prefix.
+    store_name = "result-cache"
+
     def __init__(
         self,
         root: Optional[os.PathLike] = None,
@@ -123,19 +141,52 @@ class ResultCache:
         self.max_bytes = max_bytes if max_bytes is not None else default_max_bytes()
         self.hits = 0
         self.misses = 0
+        #: Corrupt entries / orphaned temp files moved to quarantine.
+        self.quarantined = 0
+        #: Entries removed by the LRU size cap (this store object).
+        self.evictions = 0
+        self._recovered = False
 
     # ------------------------------------------------------------------
     def path_for(self, spec: JobSpec) -> Path:
         digest = spec.content_hash()
         return self.root / digest[:2] / f"{digest}.json"
 
+    def recover(self) -> int:
+        """Quarantine partial files left by writers that died mid-write.
+
+        Runs once per store object (lazily, before the first read or
+        write) under the store lock; committed entries are never
+        touched.  Returns the number of files quarantined."""
+        self._recovered = True
+        if not self.root.is_dir():
+            return 0
+        with store_lock(self.root):
+            recovered = recover_orphans(self.root, self.store_name)
+        self.quarantined += recovered
+        return recovered
+
+    def _quarantine_entry(self, path: Path, reason: str) -> None:
+        if quarantine_file(path, self.root, self.store_name, reason=reason):
+            self.quarantined += 1
+
     def get(self, spec: JobSpec) -> Optional[RunSummary]:
-        """The cached summary for ``spec``, or None."""
+        """The cached summary for ``spec``, or None.
+
+        Reads are lock-free (atomic writes guarantee any visible entry
+        is complete); an entry that fails to parse is quarantined —
+        kept as evidence, counted, and never consulted again."""
+        if not self._recovered:
+            self.recover()
         path = self.path_for(spec)
         try:
             data = json.loads(path.read_text())
-        except (OSError, ValueError):
+        except OSError:
             self.misses += 1
+            return None
+        except ValueError:
+            self.misses += 1
+            self._quarantine_entry(path, "unparsable JSON")
             return None
         if data.get("format") != CACHE_FORMAT:
             self.misses += 1
@@ -145,17 +196,23 @@ class ResultCache:
         except (KeyError, TypeError, ValueError):
             # Corrupt or hand-edited entry: treat as absent.
             self.misses += 1
+            self._quarantine_entry(path, "malformed summary payload")
             return None
         self.hits += 1
         touch(path)
         return summary
 
     def put(self, spec: JobSpec, summary: RunSummary, elapsed: Optional[float] = None) -> Path:
-        """Store one finished run; returns the entry's path."""
+        """Store one finished run; returns the entry's path.
+
+        The payload lands atomically (temp + fsync + rename), and the
+        LRU eviction sweep runs under the store's cross-process lock so
+        concurrent writers never double-evict."""
         from repro import __version__
 
+        if not self._recovered:
+            self.recover()
         path = self.path_for(spec)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "format": CACHE_FORMAT,
             "version": __version__,
@@ -163,10 +220,13 @@ class ResultCache:
             "elapsed": elapsed,
             "summary": summary.to_dict(),
         }
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(payload))
-        os.replace(tmp, path)
-        evict_lru(self.root, "*/*.json", self.max_bytes)
+        atomic_write_text(path, json.dumps(payload))
+        if self.max_bytes is not None:
+            with store_lock(self.root):
+                removed, _ = evict_lru(
+                    self.root, "*/*.json", self.max_bytes, store=self.store_name
+                )
+            self.evictions += removed
         return path
 
     def contains(self, spec: JobSpec) -> bool:

@@ -179,9 +179,12 @@ class RunManifest:
     def _append(self, entry: dict) -> None:
         if self._handle is None:
             return
-        self._handle.write(json.dumps(entry) + "\n")
-        # Flushed per line: the whole point is surviving a hard kill.
-        self._handle.flush()
+        from repro.runner.locking import locked_append
+
+        # One flock-guarded, flushed+fsynced write per line: the whole
+        # point is surviving a hard kill, and concurrent appenders
+        # (parent + resumed run) must interleave whole lines only.
+        locked_append(self._handle, json.dumps(entry) + "\n")
 
     def close(self) -> None:
         if self._handle is not None:

@@ -47,6 +47,17 @@ class GridStats:
     #: they ran nothing).  Keys are e.g. "compiled", "scalar",
     #: "compiled+replay".
     backends: Dict[str, int] = field(default_factory=dict)
+    #: Degradation provenance: summary ``fallback_reason`` -> number of
+    #: executed jobs stamped with it ("fast=False" and None excluded —
+    #: only genuine degradations count).
+    fallback_reasons: Dict[str, int] = field(default_factory=dict)
+    #: Store hygiene (this run's delta, cache + trace store combined):
+    #: corrupt/partial files moved to quarantine.
+    store_quarantined: int = 0
+    #: Entries removed by the stores' LRU size caps.
+    store_evictions: int = 0
+    #: Corrupt tap traces dropped (and re-recorded) by the trace store.
+    trace_corrupt_dropped: int = 0
     #: Wall-clock duration of the whole :meth:`BatchRunner.run` call.
     wall_seconds: float = 0.0
     #: Summed per-job execution time (cache/manifest restores count 0).
@@ -81,6 +92,9 @@ class GridStats:
             or self.timeouts
             or self.worker_deaths
             or self.jobs_clamped
+            or self.fallback_reasons
+            or self.store_quarantined
+            or self.trace_corrupt_dropped
         )
 
     def render(self) -> str:
@@ -106,7 +120,19 @@ class GridStats:
                 f"{count} {name}" for name, count in sorted(self.backends.items())
             )
             parts.append(f"engines: {mix}")
+        if self.fallback_reasons:
+            degraded = sum(self.fallback_reasons.values())
+            parts.append(f"{degraded} degraded to scalar")
+        if self.store_quarantined:
+            parts.append(f"{self.store_quarantined} store files quarantined")
+        if self.trace_corrupt_dropped:
+            parts.append(f"{self.trace_corrupt_dropped} corrupt traces re-recorded")
         text = ", ".join(parts)
+        if self.fallback_reasons:
+            text += "\ndegradations: " + "; ".join(
+                f"{count}x {reason}"
+                for reason, count in sorted(self.fallback_reasons.items())
+            )
         if self.jobs_clamped:
             text += (
                 f"\nwarning: --jobs {self.requested_jobs} requested, "
@@ -163,6 +189,27 @@ class GridStats:
         )
         for name, count in sorted(self.backends.items()):
             engines.inc(count, backend=name)
+        # Degradation/store-hygiene counters are emitted only when
+        # nonzero: healthy runs keep the exact metric surface the
+        # golden snapshots pin.
+        if self.fallback_reasons:
+            degraded = registry.counter(
+                "repro_runner_degraded_jobs_total",
+                help="executed jobs that fell back to the scalar engine",
+            )
+            for reason, count in sorted(self.fallback_reasons.items()):
+                degraded.inc(count, reason=reason)
+        if self.store_quarantined or self.store_evictions or self.trace_corrupt_dropped:
+            events = registry.counter(
+                "repro_runner_store_events_total",
+                help="cache/trace store hygiene events during the grid",
+            )
+            if self.store_quarantined:
+                events.inc(self.store_quarantined, kind="quarantined")
+            if self.store_evictions:
+                events.inc(self.store_evictions, kind="evicted")
+            if self.trace_corrupt_dropped:
+                events.inc(self.trace_corrupt_dropped, kind="corrupt_trace")
         return registry
 
     def to_dict(self) -> Dict:
@@ -185,6 +232,10 @@ class GridStats:
             "jobs_clamped": self.jobs_clamped,
             "utilization": self.utilization,
             "backends": dict(self.backends),
+            "fallback_reasons": dict(self.fallback_reasons),
+            "store_quarantined": self.store_quarantined,
+            "store_evictions": self.store_evictions,
+            "trace_corrupt_dropped": self.trace_corrupt_dropped,
         }
 
 

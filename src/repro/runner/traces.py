@@ -27,6 +27,12 @@ from typing import Optional
 
 from repro.runner.cache import default_cache_dir, default_max_bytes, evict_lru, touch
 from repro.runner.jobs import JobSpec
+from repro.runner.locking import (
+    atomic_write_bytes,
+    quarantine_file,
+    recover_orphans,
+    store_lock,
+)
 from repro.system.taptrace import TapTraceSet, TraceError
 
 #: Environment override for the trace-store size cap (in MiB).
@@ -44,6 +50,9 @@ def default_trace_dir() -> Path:
 class TraceStore:
     """Content-addressed store of :class:`TapTraceSet` files."""
 
+    #: Runtime-metrics label + quarantine reason prefix.
+    store_name = "trace-store"
+
     def __init__(
         self,
         root: Optional[os.PathLike] = None,
@@ -55,17 +64,35 @@ class TraceStore:
         self.max_bytes = max_bytes if max_bytes is not None else DEFAULT_TRACE_MAX_BYTES
         self.hits = 0
         self.misses = 0
-        #: Corrupt trace files quarantined (deleted) by :meth:`get` —
-        #: disk corruption is recoverable but must never be silent.
+        #: Corrupt trace files quarantined by :meth:`get` — disk
+        #: corruption is recoverable but must never be silent.
         self.corrupt_dropped = 0
+        #: Files moved to quarantine (corrupt traces + orphaned temps).
+        self.quarantined = 0
+        #: Entries removed by the LRU size cap (this store object).
+        self.evictions = 0
+        self._recovered = False
 
     # ------------------------------------------------------------------
     def path_for(self, spec: JobSpec) -> Path:
         digest = spec.trace_hash()
         return self.root / digest[:2] / f"{digest}.trace"
 
+    def recover(self) -> int:
+        """Quarantine partial temp files from dead writers (lazy, once
+        per store object, under the store lock)."""
+        self._recovered = True
+        if not self.root.is_dir():
+            return 0
+        with store_lock(self.root):
+            recovered = recover_orphans(self.root, self.store_name)
+        self.quarantined += recovered
+        return recovered
+
     def get(self, spec: JobSpec) -> Optional[TapTraceSet]:
         """The recorded trace for ``spec``'s hierarchy run, or None."""
+        if not self._recovered:
+            self.recover()
         path = self.path_for(spec)
         try:
             blob = path.read_bytes()
@@ -77,17 +104,20 @@ class TraceStore:
         except TraceError as exc:
             # Truncated or corrupt: quarantine it and re-record, loudly
             # — corruption usually means a sick disk or a torn writer.
+            # The bytes move to quarantine/ (not the bin) so the
+            # failure stays diagnosable.
             self.misses += 1
             self.corrupt_dropped += 1
+            from repro.obs.runtime import record_corrupt_trace
+
+            record_corrupt_trace()
             warnings.warn(
                 f"dropping corrupt tap trace {path}: {exc}; re-recording",
                 RuntimeWarning,
                 stacklevel=2,
             )
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            if quarantine_file(path, self.root, self.store_name, reason=str(exc)):
+                self.quarantined += 1
             return None
         self.hits += 1
         touch(path)
@@ -95,12 +125,16 @@ class TraceStore:
 
     def put(self, spec: JobSpec, traces: TapTraceSet) -> Path:
         """Store one recorded trace; returns the entry's path."""
+        if not self._recovered:
+            self.recover()
         path = self.path_for(spec)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_bytes(traces.to_bytes())
-        os.replace(tmp, path)
-        evict_lru(self.root, "*/*.trace", self.max_bytes)
+        atomic_write_bytes(path, traces.to_bytes())
+        if self.max_bytes is not None:
+            with store_lock(self.root):
+                removed, _ = evict_lru(
+                    self.root, "*/*.trace", self.max_bytes, store=self.store_name
+                )
+            self.evictions += removed
         return path
 
     def contains(self, spec: JobSpec) -> bool:

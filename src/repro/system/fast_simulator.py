@@ -28,6 +28,7 @@ from typing import List, Optional
 from repro.common.errors import CapacityError, ProtocolError, ReproError
 from repro.coma.states import AMState
 from repro.core import timing_kernels as tk
+from repro.core.ladder import EngineDegraded, injected_fault
 from repro.core.schemes import TAP_OF_SCHEME, TapPoint
 from repro.core.tlb import Organization
 from repro.system.refs import BARRIER, LOCK, UNLOCK
@@ -124,16 +125,31 @@ def _raise_engine_error(status: int) -> None:
         raise CapacityError("fast timing engine: no slot for injected master")
     if status == tk.ERR_KEY:
         raise ReproError("fast timing engine: unmapped page in translation")
-    raise ReproError(f"fast timing engine: internal error ({status})")
+    # ERR_INTERNAL is the sticky in-C failure code for conditions the
+    # scalar oracle does not share — allocation failure in capture mode
+    # or the event heap — so the supervisor may degrade and re-run.
+    raise EngineDegraded(f"C engine internal error (status {status})")
 
 
 def run_fast(simulator) -> RunResult:
     """Run one simulation on the compiled engine.
 
     The caller must have checked :func:`fallback_reason` first; this
-    function assumes eligibility and raises on engine errors.
+    function assumes eligibility and raises on engine errors.  Failures
+    the scalar oracle recovers from — C-side allocation failure, the
+    sticky internal error status, injected faults — raise
+    :class:`~repro.core.ladder.EngineDegraded` (or ``MemoryError``),
+    and are only raised while the Python machine is still pristine
+    (``simulator._fast_state_mutated`` guards the copy-back phase), so
+    :meth:`Simulator.run` can re-run the same machine on the scalar
+    engine.
     """
     from repro.system.taps import TimingAgent
+
+    simulator._fast_state_mutated = False
+    fault = injected_fault()
+    if fault == "create":
+        raise EngineDegraded("injected fault: engine allocation failed (create)")
 
     backend = tk.get_backend()
     ffi, lib = backend.ffi, backend.lib
@@ -193,10 +209,14 @@ def run_fast(simulator) -> RunResult:
 
     handle = lib.fs_create(ffi.new("int64_t[]", geom))
     if handle == ffi.NULL:
-        raise MemoryError("fast timing engine allocation failed")
+        raise EngineDegraded("C engine allocation failed (fs_create OOM)")
     try:
+        if fault == "oom":
+            raise EngineDegraded("injected fault: C allocation failed (oom)")
+        if fault == "internal":
+            _raise_engine_error(tk.ERR_INTERNAL)
         if _is_sweep_agent(agent) and lib.fs_set_capture(handle, 1) != 0:
-            raise MemoryError("fast sweep engine: capture allocation failed")
+            raise EngineDegraded("capture-mode allocation failed")
         return _drive(simulator, ffi, lib, handle, swords, think, timing_agent)
     finally:
         lib.fs_destroy(handle)
@@ -231,13 +251,13 @@ def _drive(simulator, ffi, lib, handle, swords, think, timing_agent) -> RunResul
 
     for vpn, pfn in machine.page_map.items():
         if lib.fs_pagemap_add(handle, vpn, pfn) != 0:
-            raise MemoryError("fast timing engine: page map load failed")
+            raise EngineDegraded("page map load failed (map allocation)")
 
     for n, am in enumerate(engine.ams):
         for am_set in am._sets:
             for block, state in am_set.items():
                 if lib.fs_am_load(handle, n, block, int(state)) != 0:
-                    raise ReproError("fast timing engine: AM image load failed")
+                    raise EngineDegraded("AM image load failed")
 
     sharer_words = ffi.new("uint64_t[]", swords)
     for directory in engine.directories:
@@ -249,7 +269,7 @@ def _drive(simulator, ffi, lib, handle, swords, think, timing_agent) -> RunResul
                 sharer_words[w] = (mask >> (64 * w)) & 0xFFFFFFFFFFFFFFFF
             owner = -1 if entry.owner is None else entry.owner
             if lib.fs_dir_load(handle, block, owner, sharer_words) != 0:
-                raise ReproError("fast timing engine: directory load failed")
+                raise EngineDegraded("directory load failed")
 
     lib.fs_seed_engine(
         handle, ffi.from_buffer("uint32_t[]", tk.rng_state_words(engine._rng))
@@ -374,6 +394,10 @@ def _drive(simulator, ffi, lib, handle, swords, think, timing_agent) -> RunResul
         sync[n] += end_time - clock[n]
 
     # -- copy every piece of machine state back -------------------------
+    # Past this point the Python machine is mutated incrementally, so a
+    # failure can no longer degrade to a scalar re-run of the same
+    # machine object (Simulator.run checks this flag).
+    simulator._fast_state_mutated = True
     refs_per_node = [int(lib.fs_refs_done(handle, n)) for n in range(count)]
     breakdowns = []
     bd3 = ffi.new("int64_t[3]")

@@ -69,16 +69,33 @@ class Simulator:
 
         Both paths produce bit-identical results (the differential
         suite enforces it); ``backend``/``fallback_reason`` record
-        which one actually ran.
+        which one actually ran.  A compiled-engine failure the scalar
+        oracle recovers from — C-side allocation failure, the sticky
+        internal error status, an injected fault — degrades to a
+        scalar re-run of the same (still pristine) machine, recorded
+        on the ladder's fallback counters and stamped as a structured
+        ``fallback_reason``; it never crashes the run.
         """
         if self.fast:
+            from repro.core.ladder import EngineDegraded
             from repro.system import fast_simulator
 
             reason = fast_simulator.fallback_reason(self)
             if reason is None:
                 self.backend = "compiled"
                 self.fallback_reason = None
-                return self._stamp(fast_simulator.run_fast(self))
+                try:
+                    return self._stamp(fast_simulator.run_fast(self))
+                except (EngineDegraded, MemoryError) as exc:
+                    if getattr(self, "_fast_state_mutated", False):
+                        # Copy-back had begun: the machine is no longer
+                        # pristine, so a scalar re-run would be wrong.
+                        raise
+                    detail = getattr(exc, "reason", None) or str(exc) or "MemoryError"
+                    reason = f"compiled engine degraded: {detail}"
+                    from repro.obs.runtime import record_fallback
+
+                    record_fallback("compiled", detail)
             self.fallback_reason = reason
         else:
             self.fallback_reason = "fast=False"

@@ -398,3 +398,69 @@ class TestStatusCommand:
     def test_status_no_runs(self, capsys, tmp_path):
         code, out = run_cli(capsys, "status", "--cache-dir", str(tmp_path))
         assert code == 0 and "no runs" in out
+
+
+class TestDoctor:
+    def test_reports_resolved_ladder(self, capsys):
+        code, out = run_cli(capsys, "doctor")
+        assert code == 0
+        assert "degradation ladder" in out
+        assert "compiled" in out and "scalar" in out
+        assert "<- active" in out
+
+    def test_json_output(self, capsys):
+        code, out = run_cli(capsys, "doctor", "--json")
+        assert code == 0
+        tiers = json.loads(out)
+        assert [tier["tier"] for tier in tiers] == ["compiled", "numpy", "scalar"]
+        assert all({"healthy", "detail"} <= set(tier) for tier in tiers)
+
+    def test_red_when_only_last_resort(self, capsys, monkeypatch):
+        from repro.core.replay import NO_NUMPY_ENV
+        from repro.core.timing_kernels import NO_NUMBA_ENV
+
+        monkeypatch.setenv(NO_NUMBA_ENV, "1")
+        monkeypatch.setenv(NO_NUMPY_ENV, "1")
+        code, out = run_cli(capsys, "doctor")
+        assert code == 1
+        assert "scalar" in out
+
+
+class TestFuzzCommand:
+    @pytest.fixture()
+    def one_case_corpus(self, tmp_path):
+        from repro.fuzz import FuzzCase
+        from repro.fuzz.harness import save_case
+
+        case = FuzzCase(
+            factor=64, nodes=2, page_size=256, scheme="V-COMA", entries=8,
+            organization="fa",
+            workload={"kind": "named", "name": "radix", "intensity": 0.2},
+            max_refs_per_node=100,
+        )
+        save_case(case, tmp_path)
+        return tmp_path
+
+    def test_replay_only_green_corpus(self, capsys, one_case_corpus):
+        code, out = run_cli(
+            capsys, "fuzz", "--replay-only", "--corpus", str(one_case_corpus)
+        )
+        assert code == 0
+        assert "replay ok " in out
+        assert "corpus: 1/1 cases replayed clean" in out
+
+    def test_replay_only_flags_corrupt_corpus(self, capsys, tmp_path):
+        (tmp_path / "case-junk.json").write_text('{"format": 1}')
+        code, out = run_cli(
+            capsys, "fuzz", "--replay-only", "--corpus", str(tmp_path)
+        )
+        assert code == 1
+        assert "replay FAIL" in out
+
+    def test_generative_smoke(self, capsys, one_case_corpus):
+        code, out = run_cli(
+            capsys, "fuzz", "--cases", "5", "--seed", "11",
+            "--corpus", str(one_case_corpus), "--skip-replay",
+        )
+        assert code == 0
+        assert "no divergence" in out
