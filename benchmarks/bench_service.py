@@ -1,0 +1,478 @@
+"""Service-tier load test: concurrent clients, coalescing, remote workers.
+
+Run as a script (it is not a pytest-benchmark module)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--smoke] [--out PATH]
+
+Three measurements against one live in-process server (real sockets on
+an ephemeral loopback port), written to ``BENCH_service.json`` at the
+repo root:
+
+* **warm load** — ``--clients`` (default 1200; ``--smoke`` drops to
+  120) concurrent asyncio clients, released simultaneously, each
+  opening its own connection, POSTing a grid whose specs are already
+  in the result cache and GETting the results.  Records POST and
+  whole-session latency percentiles, aggregate requests/sec, and
+  ``warm_hit_rate`` — the fraction of POSTs answered ``state=done``
+  synchronously (gated at ``REPRO_BENCH_SERVICE_MIN_HIT``, default
+  0.95).  p99 POST latency is gated at ``REPRO_BENCH_SERVICE_P99``
+  milliseconds widened by ``REPRO_BENCH_SERVICE_TOL``.
+* **dedupe proof** — the server is given a deterministic pre-execution
+  delay, then K clients POST the *same cold spec* at once.  Asserted
+  exactly: one run id, ``repro_coalesced_requests_total`` grew by
+  K - 1, ``repro_service_simulations_total`` grew by 1, and the run's
+  manifest holds exactly one ``ok`` line.  ``coalesced_rate`` is the
+  follower fraction (K - 1) / K.
+* **remote workers** — two loopback ``repro worker`` subprocesses dial
+  the hub; a cold grid must report ``effective_jobs == 2`` (the pool
+  path skips the cpu-count clamp, so jobs > 1 is real even on a 1-CPU
+  host) with every worker landing jobs.  ``speedup_vs_serial``
+  compares against a direct serial :class:`BatchRunner` of the same
+  specs — recorded honestly; on a single CPU the workers timeshare,
+  so the row demonstrates dispatch across real processes rather than
+  a wall-clock win.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import repro
+from repro import MachineParams, Scheme, __version__
+from repro.obs.runtime import counter_value
+from repro.runner import BatchRunner, JobSpec
+from repro.service import ServiceClient, ServiceThread, SimulationService, WorkerHub
+
+#: Tiny 2-node machine: the load test measures the service, not the
+#: simulator, so each spec must be cheap enough to warm in seconds.
+PARAMS = MachineParams.scaled_down(factor=256, nodes=2, page_size=256)
+
+WORKLOADS = ("fft", "radix", "ocean", "fmm")
+#: Share of load-phase clients that hammer the single hottest grid.
+HOT_EVERY = 4
+
+
+def warm_grids():
+    """Eight single-spec grids the load phase requests over and over."""
+    return [
+        [JobSpec.timing(PARAMS, Scheme.V_COMA, name, entries,
+                        max_refs_per_node=300,
+                        overrides={"intensity": 0.2})]
+        for name in WORKLOADS
+        for entries in (8, 32)
+    ]
+
+
+def cold_spec(intensity: float, name: str = "radix", entries: int = 16):
+    """A spec guaranteed absent from the cache (unique intensity)."""
+    return JobSpec.timing(PARAMS, Scheme.V_COMA, name, entries,
+                          max_refs_per_node=300,
+                          overrides={"intensity": intensity})
+
+
+def percentile(values, fraction: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def raise_fd_limit(needed: int) -> int:
+    """Lift RLIMIT_NOFILE toward the hard cap; returns the soft limit."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX: run with whatever the OS gives
+        return needed
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    target = needed if hard == resource.RLIM_INFINITY else min(hard, needed)
+    if target > soft:
+        with contextlib.suppress(ValueError, OSError):
+            resource.setrlimit(resource.RLIMIT_NOFILE, (target, hard))
+        soft = resource.getrlimit(resource.RLIMIT_NOFILE)[0]
+    return soft
+
+
+# ----------------------------------------------------------------------
+# minimal asyncio HTTP client (connection volume is the point here)
+# ----------------------------------------------------------------------
+async def _read_response(reader):
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("server closed mid-response")
+    status = int(status_line.split()[1])
+    length, ctype = 0, ""
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        key = name.strip().lower()
+        if key == "content-length":
+            length = int(value.strip())
+        elif key == "content-type":
+            ctype = value.strip()
+    body = await reader.readexactly(length) if length else b""
+    data = json.loads(body) if "json" in ctype and body else body
+    return status, data
+
+
+async def _connect(host, port, attempts: int = 60):
+    """Open a connection, retrying while the accept backlog overflows."""
+    for attempt in range(attempts):
+        try:
+            return await asyncio.open_connection(host, port)
+        except (ConnectionRefusedError, OSError):
+            if attempt == attempts - 1:
+                raise
+            await asyncio.sleep(0.05 * (attempt + 1))
+
+
+async def _session(host, port, requests, start_gate):
+    """One client: wait for the gate, connect, run requests in order.
+
+    Returns (session_seconds, [(latency_seconds, status, data), ...]).
+    """
+    await start_gate.wait()
+    began = time.perf_counter()
+    reader, writer = await _connect(host, port)
+    replies = []
+    try:
+        for method, path, payload in requests:
+            body = json.dumps(payload).encode() if payload is not None else b""
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {host}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n"
+            ).encode("ascii")
+            sent = time.perf_counter()
+            writer.write(head + body)
+            await writer.drain()
+            status, data = await _read_response(reader)
+            replies.append((time.perf_counter() - sent, status, data))
+    finally:
+        writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()
+    return time.perf_counter() - began, replies
+
+
+# ----------------------------------------------------------------------
+# phases
+# ----------------------------------------------------------------------
+def phase_warm_up(client: ServiceClient, grids) -> float:
+    began = time.perf_counter()
+    for grid in grids:
+        payload = client.run(grid, timeout=300)
+        assert payload["state"] == "done", payload
+    return time.perf_counter() - began
+
+
+async def _load(host, port, grids, clients):
+    gate = asyncio.Event()
+    bodies = [{"specs": [spec.key() for spec in grid]} for grid in grids]
+
+    # The GET path depends on the POST answer (results_url), so the
+    # session is written out by hand rather than through _session.
+    async def one_full(i):
+        await gate.wait()
+        began = time.perf_counter()
+        reader, writer = await _connect(host, port)
+        try:
+            body = bodies[0] if i % HOT_EVERY else bodies[(i // HOT_EVERY) % len(bodies)]
+            encoded = json.dumps(body).encode()
+            head = (
+                f"POST /runs HTTP/1.1\r\nHost: {host}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(encoded)}\r\n\r\n"
+            ).encode("ascii")
+            sent = time.perf_counter()
+            writer.write(head + encoded)
+            await writer.drain()
+            status, info = await _read_response(reader)
+            post_s = time.perf_counter() - sent
+            assert status in (200, 202), (status, info)
+            get = (
+                f"GET {info['results_url']} HTTP/1.1\r\nHost: {host}\r\n"
+                f"Content-Length: 0\r\n\r\n"
+            ).encode("ascii")
+            writer.write(get)
+            await writer.drain()
+            got, results = await _read_response(reader)
+            assert got in (200, 202), (got, results)
+            return {
+                "post_s": post_s,
+                "session_s": time.perf_counter() - began,
+                "hit": info.get("state") == "done" and got == 200,
+            }
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    tasks = [asyncio.ensure_future(one_full(i)) for i in range(clients)]
+    await asyncio.sleep(0)  # let every task reach the gate
+    began = time.perf_counter()
+    gate.set()
+    outcomes = await asyncio.gather(*tasks)
+    wall = time.perf_counter() - began
+    return wall, outcomes
+
+
+def phase_load(service, host, port, grids, clients):
+    service.submissions.clear()  # force the ResultCache rung, not replay
+    cache_before = counter_value("repro_service_spec_results_total",
+                                 source="cache")
+    sims_before = counter_value("repro_service_simulations_total")
+    wall, outcomes = asyncio.run(_load(host, port, grids, clients))
+    post = [o["post_s"] * 1000.0 for o in outcomes]
+    session = [o["session_s"] * 1000.0 for o in outcomes]
+    hits = sum(1 for o in outcomes if o["hit"])
+    return {
+        "clients": clients,
+        "requests": 2 * clients,
+        "wall_seconds": wall,
+        "requests_per_sec": (2 * clients) / wall,
+        "post_latency_ms": {
+            "p50": percentile(post, 0.50),
+            "p99": percentile(post, 0.99),
+            "max": max(post),
+        },
+        "session_latency_ms": {
+            "p50": percentile(session, 0.50),
+            "p99": percentile(session, 0.99),
+            "max": max(session),
+        },
+        "warm_hit_rate": hits / clients,
+        "cache_spec_hits": counter_value(
+            "repro_service_spec_results_total", source="cache") - cache_before,
+        "new_simulations": counter_value(
+            "repro_service_simulations_total") - sims_before,
+    }
+
+
+async def _dedupe_storm(host, port, spec, clients):
+    gate = asyncio.Event()
+    body = {"specs": [spec.key()]}
+    tasks = [
+        asyncio.ensure_future(
+            _session(host, port, [("POST", "/runs", body)], gate))
+        for _ in range(clients)
+    ]
+    await asyncio.sleep(0)
+    gate.set()
+    outcomes = await asyncio.gather(*tasks)
+    return [replies[0] for _, replies in outcomes]
+
+
+def phase_dedupe(service, client, host, port, clients, intensity):
+    service.execute_delay = 0.4  # hold the spec in flight past the storm
+    spec = cold_spec(intensity)
+    coalesced_before = counter_value("repro_coalesced_requests_total")
+    sims_before = counter_value("repro_service_simulations_total")
+    try:
+        replies = asyncio.run(_dedupe_storm(host, port, spec, clients))
+    finally:
+        service.execute_delay = 0.0
+    runs = {info["run"] for _, status, info in replies}
+    assert len(runs) == 1, f"storm split across runs: {runs}"
+    run_id = runs.pop()
+    final = client.wait(run_id, timeout=300)
+    assert final["state"] == "done", final
+    coalesced = counter_value("repro_coalesced_requests_total") - coalesced_before
+    simulations = counter_value("repro_service_simulations_total") - sims_before
+    manifest = service.manifest_dir / f"{run_id}.jsonl"
+    ok_lines = sum(
+        1 for line in manifest.read_text().splitlines()
+        if line.strip() and json.loads(line).get("status") == "ok")
+    assert coalesced == clients - 1, (coalesced, clients)
+    assert simulations == 1, simulations
+    assert ok_lines == 1, ok_lines
+    return {
+        "clients": clients,
+        "run": run_id,
+        "coalesced_requests": coalesced,
+        "simulations": simulations,
+        "manifest_ok_lines": ok_lines,
+        "coalesced_rate": (clients - 1) / clients,
+    }
+
+
+def spawn_worker(port: int) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = str(os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__))))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker",
+         "--connect", f"127.0.0.1:{port}", "--no-reconnect"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+#: The workers phase runs real work (the standard bench machine, long
+#: reference streams) so dispatch overhead is amortized and the
+#: serial-vs-service comparison measures simulation, not polling.
+WORKER_PARAMS = MachineParams.scaled_down(factor=8, nodes=8, page_size=512)
+WORKER_REFS = 100_000
+
+
+def phase_workers(service, client, hub, intensity, smoke):
+    entries_axis = (16,) if smoke else (16, 64)
+    grid = [
+        JobSpec.timing(WORKER_PARAMS, Scheme.V_COMA, name, entries,
+                       max_refs_per_node=WORKER_REFS,
+                       overrides={"intensity": intensity})
+        for name in WORKLOADS
+        for entries in entries_axis
+    ]
+    procs = [spawn_worker(hub.port) for _ in range(2)]
+    try:
+        assert hub.wait_for_workers(2, timeout=60), "workers never dialed in"
+        began = time.perf_counter()
+        info = client.submit(grid)
+        final = client.wait(info["run"], timeout=600)
+        service_s = time.perf_counter() - began
+        assert final["state"] == "done", final
+        assert final["effective_jobs"] == 2, final["effective_jobs"]
+        jobs_per_worker = [w["jobs_done"] for w in hub.workers_info()]
+        assert sum(jobs_per_worker) == len(grid), jobs_per_worker
+        assert len(jobs_per_worker) == 2 and min(jobs_per_worker) >= 1, \
+            jobs_per_worker
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            with contextlib.suppress(Exception):
+                proc.wait(timeout=10)
+    began = time.perf_counter()
+    outcomes = BatchRunner(jobs=1).run(grid)
+    serial_s = time.perf_counter() - began
+    assert all(job.ok for job in outcomes)
+    return {
+        "workers": 2,
+        "effective_jobs": final["effective_jobs"],
+        "grid_jobs": len(grid),
+        "jobs_per_worker": sorted(jobs_per_worker),
+        "service_seconds": service_s,
+        "serial_seconds": serial_s,
+        "speedup_vs_serial": serial_s / service_s,
+        "worker_deaths": final["grid_stats"]["worker_deaths"],
+    }
+
+
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small client counts for CI")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default BENCH_service.json)")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="load-phase client count "
+                             "(default 1200, or 120 with --smoke)")
+    parser.add_argument("--history-dir", default=None,
+                        help="also append this run to the run-history store "
+                             "(or set REPRO_HISTORY_DIR; see `repro history`)")
+    args = parser.parse_args(argv)
+
+    clients = args.clients or (120 if args.smoke else 1200)
+    dedupe_clients = 10 if args.smoke else 50
+    soft_limit = raise_fd_limit(4 * clients + 256)
+    if soft_limit < 2 * clients + 64:
+        clients = max(16, (soft_limit - 64) // 2)
+        print(f"fd limit {soft_limit}: clamping load phase to "
+              f"{clients} clients")
+
+    root = tempfile.mkdtemp(prefix="bench-service-")
+    hub = WorkerHub()
+    service = SimulationService(cache_dir=root, hub=hub, retries=2)
+    thread = ServiceThread(service)
+    payload = {
+        "bench": "service",
+        "version": __version__,
+        "smoke": bool(args.smoke),
+        "cpu_count": os.cpu_count(),
+        "params": {
+            "factor": 256, "nodes": 2, "page_size": 256,
+            "max_refs_per_node": 300, "grids": len(warm_grids()),
+        },
+    }
+    try:
+        host, port = thread.start()
+        client = ServiceClient(host, port, timeout=120.0)
+        grids = warm_grids()
+
+        print(f"warm-up: executing {len(grids)} grids ...")
+        warm_seconds = phase_warm_up(client, grids)
+        payload["warm_up_seconds"] = warm_seconds
+        print(f"  {warm_seconds:.2f}s")
+
+        print(f"load: {clients} concurrent clients against the warm cache ...")
+        payload["load"] = load = phase_load(service, host, port, grids, clients)
+        print(f"  wall {load['wall_seconds']:.2f}s  "
+              f"{load['requests_per_sec']:.0f} req/s  "
+              f"POST p50 {load['post_latency_ms']['p50']:.1f}ms "
+              f"p99 {load['post_latency_ms']['p99']:.1f}ms  "
+              f"hit rate {load['warm_hit_rate']:.3f}")
+
+        print(f"dedupe: {dedupe_clients} identical cold submissions ...")
+        payload["dedupe"] = dedupe = phase_dedupe(
+            service, client, host, port, dedupe_clients, intensity=0.21)
+        print(f"  one run, {dedupe['coalesced_requests']} coalesced, "
+              f"{dedupe['simulations']} simulation, "
+              f"{dedupe['manifest_ok_lines']} manifest ok line")
+
+        print("workers: cold grid across 2 loopback remote workers ...")
+        payload["workers"] = workers = phase_workers(
+            service, client, hub, intensity=0.22, smoke=args.smoke)
+        print(f"  effective_jobs {workers['effective_jobs']}  "
+              f"jobs/worker {workers['jobs_per_worker']}  "
+              f"service {workers['service_seconds']:.2f}s vs serial "
+              f"{workers['serial_seconds']:.2f}s "
+              f"({workers['speedup_vs_serial']:.2f}x)")
+    finally:
+        thread.stop()
+        shutil.rmtree(root, ignore_errors=True)
+
+    # -- gates ---------------------------------------------------------
+    tolerance = float(os.environ.get("REPRO_BENCH_SERVICE_TOL", "0"))
+    p99_limit = float(os.environ.get("REPRO_BENCH_SERVICE_P99", "2500"))
+    p99_limit *= 1 + tolerance
+    min_hit = float(os.environ.get("REPRO_BENCH_SERVICE_MIN_HIT", "0.95"))
+    assert load["warm_hit_rate"] >= min_hit, (
+        f"warm hit rate {load['warm_hit_rate']:.3f} < {min_hit} "
+        f"(set REPRO_BENCH_SERVICE_MIN_HIT to widen the gate)")
+    assert load["post_latency_ms"]["p99"] <= p99_limit, (
+        f"POST p99 {load['post_latency_ms']['p99']:.1f}ms exceeds "
+        f"{p99_limit:.0f}ms (set REPRO_BENCH_SERVICE_P99 / "
+        f"REPRO_BENCH_SERVICE_TOL to widen the gate)")
+    assert load["new_simulations"] == 0, "warm load phase still simulated"
+
+    out = args.out or os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_service.json")
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {os.path.abspath(out)}")
+
+    history_dir = args.history_dir or os.environ.get("REPRO_HISTORY_DIR")
+    if history_dir:
+        from repro.obs.history import RunHistory, entry_from_service_bench
+
+        entry = RunHistory(history_dir).append(entry_from_service_bench(payload))
+        print(f"history: recorded {entry.key} "
+              f"({len(entry.metrics)} metrics) -> {history_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,7 +57,7 @@ from repro.workloads import (
     make_workload,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "AddressLayout",

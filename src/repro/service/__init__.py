@@ -1,0 +1,32 @@
+"""Long-running simulation service tier.
+
+Turns the batch runner into a network service with three pieces:
+
+* :mod:`repro.service.server` — an asyncio JSON-over-HTTP front-end
+  (``repro serve``): clients POST grids of :class:`JobSpec` dicts,
+  poll ``/runs/<id>/status`` (manifest heartbeats → ETA), and GET
+  results.  Identical in-flight work coalesces by content hash; warm
+  specs serve straight from the :class:`ResultCache`.
+* :mod:`repro.service.hub` / :mod:`repro.service.worker` — a remote
+  worker pool (``repro worker --connect host:port``): workers pull
+  jobs over TCP with the same length-prefixed pickle framing and the
+  same retry/timeout/:class:`JobFailure` semantics as the forked-pipe
+  pool, so grids shard across hosts under the existing fault model.
+* :mod:`repro.service.client` — a small blocking HTTP client used by
+  the integration tests and the load-test benchmark.
+
+See ``docs/service.md`` for the API and protocol reference.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.hub import WorkerHub
+from repro.service.server import ServiceThread, SimulationService
+from repro.service.worker import run_worker
+
+__all__ = [
+    "ServiceClient",
+    "ServiceThread",
+    "SimulationService",
+    "WorkerHub",
+    "run_worker",
+]

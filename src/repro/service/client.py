@@ -1,0 +1,110 @@
+"""A small blocking client for the service API (tests + benchmarks).
+
+One ``http.client`` connection per call keeps the failure surface
+trivial (no pooling, no retry policy to reason about); the load-test
+benchmark brings its own asyncio client where connection volume is the
+point.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.runner.jobs import JobSpec
+
+#: Terminal submission states.
+_FINISHED = ("done", "failed")
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx answer from the service."""
+
+    def __init__(self, status: int, payload: object) -> None:
+        super().__init__(f"HTTP {status}: {payload}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def request(self, method: str, path: str,
+                payload: Optional[dict] = None) -> Tuple[int, object]:
+        """One round trip; JSON bodies decoded, text passed through."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            body = json.dumps(payload) if payload is not None else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            ctype = response.headers.get("Content-Type", "")
+            if "json" in ctype:
+                data: object = json.loads(raw.decode("utf-8"))
+            else:
+                data = raw.decode("utf-8")
+            return response.status, data
+        finally:
+            conn.close()
+
+    def _checked(self, method: str, path: str,
+                 payload: Optional[dict] = None,
+                 accept: Sequence[int] = (200, 202)) -> object:
+        status, data = self.request(method, path, payload)
+        if status not in accept:
+            raise ServiceError(status, data)
+        return data
+
+    # ------------------------------------------------------------------
+    def submit(self, specs: Sequence[Union[JobSpec, Dict]]) -> dict:
+        """POST a grid; specs may be :class:`JobSpec` or key() dicts."""
+        encoded: List[Dict] = [
+            spec.key() if isinstance(spec, JobSpec) else dict(spec)
+            for spec in specs
+        ]
+        return self._checked("POST", "/runs", {"specs": encoded})
+
+    def status(self, run_id: str) -> dict:
+        return self._checked("GET", f"/runs/{run_id}/status")
+
+    def results(self, run_id: str) -> dict:
+        return self._checked("GET", f"/runs/{run_id}/results")
+
+    def metrics(self) -> str:
+        return self._checked("GET", "/metrics")
+
+    def healthz(self) -> dict:
+        return self._checked("GET", "/healthz")
+
+    def workers(self) -> dict:
+        return self._checked("GET", "/workers")
+
+    # ------------------------------------------------------------------
+    def wait(self, run_id: str, timeout: float = 120.0,
+             poll: float = 0.1) -> dict:
+        """Poll status until the run finishes; returns the final view."""
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.status(run_id)
+            if view.get("state") in _FINISHED:
+                return view
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"run {run_id} still {view.get('state')!r} "
+                    f"after {timeout}s")
+            time.sleep(poll)
+
+    def run(self, specs: Sequence[Union[JobSpec, Dict]],
+            timeout: float = 120.0) -> dict:
+        """submit → wait → results, in one call."""
+        info = self.submit(specs)
+        self.wait(info["run"], timeout=timeout)
+        return self.results(info["run"])

@@ -1,0 +1,87 @@
+"""Length-prefixed pickle framing for the remote-worker protocol.
+
+The forked-pipe pool moves jobs over ``multiprocessing.Pipe``
+connections, whose wire format is a 4-byte big-endian length prefix
+followed by a pickle of the payload.  The remote-worker protocol keeps
+exactly that shape over TCP, so the supervisor-side message handling
+(``("ok", ...)`` / ``("err", ...)`` tuples, EOF-means-worker-death) is
+shared between both backends rather than re-invented.
+
+Pickle over a socket is an explicit trust boundary: a frame is
+arbitrary code execution on unpickling.  The hub binds to loopback by
+default and the protocol is documented as "trusted network only" —
+same stance as ``multiprocessing``'s own connection layer.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+
+#: Refuse frames beyond this size — a corrupt or hostile length prefix
+#: must not balloon into an unbounded allocation.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class FrameError(OSError):
+    """A frame violated the protocol (oversized or truncated)."""
+
+
+def pack_frame(payload: object) -> bytes:
+    """Serialize one message to its wire form (prefix + pickle)."""
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(blob) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(blob)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LENGTH.pack(len(blob)) + blob
+
+
+def write_frame(sock: socket.socket, payload: object) -> None:
+    sock.sendall(pack_frame(payload))
+
+
+def _recv_exact(sock: socket.socket, count: int, *, at_boundary: bool) -> bytes:
+    """Read exactly ``count`` bytes.
+
+    A clean EOF *between* frames raises :class:`EOFError` (the peer
+    went away in an orderly fashion); EOF *inside* a frame is a
+    :class:`FrameError` — someone died mid-write.
+    """
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if at_boundary and remaining == count:
+                raise EOFError("connection closed")
+            raise FrameError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> object:
+    """Read one message; :class:`EOFError` on orderly peer close."""
+    header = _recv_exact(sock, _LENGTH.size, at_boundary=True)
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    return pickle.loads(_recv_exact(sock, length, at_boundary=False))
+
+
+# ----------------------------------------------------------------------
+# asyncio variants (same wire format)
+# ----------------------------------------------------------------------
+async def read_frame_async(reader) -> object:
+    header = await reader.readexactly(_LENGTH.size)
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    return pickle.loads(await reader.readexactly(length))
+
+
+async def write_frame_async(writer, payload: object) -> None:
+    writer.write(pack_frame(payload))
+    await writer.drain()

@@ -1,0 +1,142 @@
+"""A minimal asyncio HTTP/1.1 layer for the service front-end.
+
+Hand-rolled on ``asyncio.start_server`` (the stdlib ships no async
+HTTP server), covering exactly what the job API needs: request-line +
+header parsing, ``Content-Length`` bodies, JSON responses, and
+keep-alive — the load test drives thousands of concurrent clients, so
+connection reuse matters.  Anything outside that envelope (chunked
+bodies, pipelining tricks, huge headers) is rejected with a 4xx rather
+than guessed at.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote
+
+MAX_BODY_BYTES = 16 * 1024 * 1024
+MAX_HEADER_LINE = 8192
+MAX_HEADERS = 100
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    431: "Request Header Fields Too Large", 500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """Maps straight to an error response."""
+
+    def __init__(self, status: int, reason: str = "") -> None:
+        super().__init__(reason or _REASONS.get(status, "error"))
+        self.status = status
+        self.reason = reason or _REASONS.get(status, "error")
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> object:
+        if not self.body:
+            raise HttpError(400, "expected a JSON body")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from None
+
+
+async def read_request(reader) -> Optional[Request]:
+    """Parse one request; ``None`` when the client hung up cleanly
+    (or mid-request — a dropped client is routine, not an error)."""
+    import asyncio
+
+    try:
+        line = await reader.readline()
+    except (ConnectionResetError, OSError):
+        return None
+    if not line:
+        return None
+    if len(line) > MAX_HEADER_LINE:
+        raise HttpError(431)
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1"):
+        raise HttpError(400, "malformed request line")
+    method, target = parts[0].upper(), parts[1]
+
+    headers: Dict[str, str] = {}
+    while True:
+        try:
+            raw = await reader.readline()
+        except (ConnectionResetError, OSError):
+            return None
+        if raw in (b"\r\n", b"\n"):
+            break
+        if not raw:
+            return None  # client vanished mid-headers
+        if len(raw) > MAX_HEADER_LINE or len(headers) >= MAX_HEADERS:
+            raise HttpError(431)
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, "malformed header line")
+        headers[name.strip().lower()] = value.strip()
+
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise HttpError(400, "malformed Content-Length") from None
+    if length < 0:
+        raise HttpError(400, "malformed Content-Length")
+    if length > MAX_BODY_BYTES:
+        raise HttpError(413)
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(400, "chunked bodies are not supported")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
+            return None  # dropped mid-body
+
+    path, _, query_string = target.partition("?")
+    query = dict(parse_qsl(query_string))
+    return Request(method=method, path=unquote(path), query=query,
+                   headers=headers, body=body)
+
+
+def response_bytes(
+    status: int,
+    payload: object = None,
+    *,
+    text: Optional[str] = None,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one response (JSON ``payload`` or raw ``text``)."""
+    if text is not None:
+        body = text.encode("utf-8")
+        content_type = content_type if content_type != "application/json" \
+            else "text/plain; charset=utf-8"
+    else:
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+    reason = _REASONS.get(status, "OK")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body

@@ -1,0 +1,337 @@
+"""The push side of the remote-worker protocol: the job hub.
+
+:class:`WorkerHub` listens on a TCP port, registers ``repro worker``
+processes as they dial in, and — when a :class:`BatchRunner` hands it a
+grid — plays the same supervisor role the forked-pipe pool plays, over
+sockets:
+
+* one job outstanding per worker, so the hub always knows which job a
+  dead or wedged worker was holding;
+* socket EOF mid-job = worker death → ``stats.worker_deaths`` and a
+  transient retry (re-dispatched to any surviving worker);
+* a blown per-attempt deadline closes the socket (the remote analogue
+  of killing the slot), counts ``stats.timeouts``, and retries;
+* transient errors back off with the runner's own deterministic
+  jitter (:meth:`BatchRunner._backoff`); deterministic errors fail
+  through the runner's ``fail`` path exactly as in-process jobs do.
+
+Workers may join mid-run (the dispatch loop polls for new arrivals)
+and the pool may drain to zero: :meth:`run_jobs` then returns the
+unfinished jobs so the caller can fall back to in-process execution —
+a vanished pool degrades a run, never strands it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import select
+import socket
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.runtime import set_connected_workers
+from repro.runner.batch import JobFailure
+from repro.service.framing import FrameError, read_frame, write_frame
+
+#: How long run_jobs sleeps between polls while idle-waiting for new
+#: workers or delayed retries (also bounds join-latency mid-run).
+_POLL_SECONDS = 0.25
+
+_HELLO_TIMEOUT = 10.0
+
+
+class _RemoteWorker:
+    """One registered worker: its socket plus current-job bookkeeping."""
+
+    __slots__ = ("wid", "sock", "info", "alive", "jobs_done",
+                 "index", "spec", "attempt", "deadline")
+
+    def __init__(self, wid: int, sock: socket.socket, info: dict) -> None:
+        self.wid = wid
+        self.sock = sock
+        self.info = info
+        self.alive = True
+        self.jobs_done = 0
+        self.clear()
+
+    @property
+    def busy(self) -> bool:
+        return self.index is not None
+
+    def clear(self) -> None:
+        self.index = None
+        self.spec = None
+        self.attempt = None
+        self.deadline = None
+
+
+class WorkerHub:
+    """Accepts remote workers and runs grids across them.
+
+    Duck-types the ``worker_pool`` interface :class:`BatchRunner`
+    consumes: :meth:`worker_count` and :meth:`run_jobs`.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._listener = socket.create_server((host, port))
+        self.host = host
+        self.port = self._listener.getsockname()[1]
+        self._lock = threading.Lock()
+        self._workers: Dict[int, _RemoteWorker] = {}
+        self._next_id = 0
+        self._closed = False
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name="repro-hub-accept"
+        )
+        self._accept_thread.start()
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._register, args=(sock,), daemon=True
+            ).start()
+
+    def _register(self, sock: socket.socket) -> None:
+        try:
+            sock.settimeout(_HELLO_TIMEOUT)
+            hello = read_frame(sock)
+            if not (isinstance(hello, tuple) and hello and hello[0] == "hello"):
+                raise FrameError("expected a hello frame")
+            sock.settimeout(None)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except (EOFError, OSError, Exception):
+            try:
+                sock.close()
+            except OSError:
+                pass
+            return
+        info = dict(hello[1]) if len(hello) > 1 and isinstance(hello[1], dict) else {}
+        with self._lock:
+            if self._closed:
+                sock.close()
+                return
+            wid = self._next_id
+            self._next_id += 1
+            self._workers[wid] = _RemoteWorker(wid, sock, info)
+            count = len(self._workers)
+        set_connected_workers(count)
+
+    def worker_count(self) -> int:
+        with self._lock:
+            return sum(1 for w in self._workers.values() if w.alive)
+
+    def workers_info(self) -> List[dict]:
+        """Connected workers, for ``/workers`` (id, pid, host, state)."""
+        with self._lock:
+            return [
+                {
+                    "id": w.wid,
+                    "pid": w.info.get("pid"),
+                    "host": w.info.get("host"),
+                    "version": w.info.get("version"),
+                    "busy": w.busy,
+                    "jobs_done": w.jobs_done,
+                }
+                for w in self._workers.values()
+                if w.alive
+            ]
+
+    def wait_for_workers(self, count: int, timeout: float = 30.0) -> bool:
+        """Block until ``count`` workers are registered (tests/bench)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.worker_count() >= count:
+                return True
+            time.sleep(0.05)
+        return self.worker_count() >= count
+
+    def _drop(self, worker: _RemoteWorker) -> None:
+        worker.alive = False
+        try:
+            worker.sock.close()
+        except OSError:
+            pass
+        with self._lock:
+            self._workers.pop(worker.wid, None)
+            count = len(self._workers)
+        set_connected_workers(count)
+
+    # ------------------------------------------------------------------
+    # supervised execution across the pool
+    # ------------------------------------------------------------------
+    def run_jobs(self, pending, runner, record, fail, heartbeat):
+        """Drive ``pending`` ``(index, spec)`` pairs to completion.
+
+        Returns the jobs it could *not* finish as ``(index, spec,
+        attempt)`` triples — non-empty only when every worker vanished;
+        the caller is expected to finish them in-process.
+        """
+        queue = deque((index, spec, 1) for index, spec in pending)
+        #: (ready_at, index, next_attempt, spec) — delayed retries,
+        #: same shape as the forked pool's heap.
+        delayed: list = []
+        while True:
+            now = time.monotonic()
+            while delayed and delayed[0][0] <= now:
+                _, index, attempt, spec = heapq.heappop(delayed)
+                queue.append((index, spec, attempt))
+
+            with self._lock:
+                workers = [w for w in self._workers.values() if w.alive]
+            busy = [w for w in workers if w.busy]
+
+            if not workers and not busy:
+                # Pool exhausted: hand everything unfinished back.
+                leftovers = [(index, spec, attempt)
+                             for index, spec, attempt in queue]
+                leftovers += [(index, spec, attempt)
+                              for _, index, attempt, spec in delayed]
+                return sorted(leftovers)
+
+            for worker in workers:
+                if worker.busy or not queue:
+                    continue
+                index, spec, attempt = queue.popleft()
+                try:
+                    write_frame(worker.sock, ("job", index, attempt, spec))
+                except OSError:
+                    # Died while idle: no attempt consumed, try the
+                    # next worker (the forked pool respawns here; a
+                    # remote worker is simply gone).
+                    self._drop(worker)
+                    queue.appendleft((index, spec, attempt))
+                    continue
+                worker.index = index
+                worker.spec = spec
+                worker.attempt = attempt
+                worker.deadline = (
+                    time.monotonic() + runner.timeout
+                    if runner.timeout else None
+                )
+                heartbeat(spec, attempt, worker=worker.wid)
+
+            busy = [w for w in workers if w.alive and w.busy]
+            if not busy:
+                if queue:
+                    continue  # dispatch loop above will retry/requeue
+                if delayed:
+                    time.sleep(min(_POLL_SECONDS,
+                                   max(0.0, delayed[0][0] - time.monotonic())))
+                    continue
+                return []  # drained: queue, delayed, and in-flight all empty
+
+            wakeups = [w.deadline for w in busy if w.deadline is not None]
+            if delayed:
+                wakeups.append(delayed[0][0])
+            wait = min(wakeups) - time.monotonic() if wakeups else _POLL_SECONDS
+            wait = max(0.0, min(wait, _POLL_SECONDS))
+            try:
+                ready, _, _ = select.select([w.sock for w in busy], [], [], wait)
+            except OSError:
+                ready = []  # a socket died between snapshot and select
+            for sock in ready:
+                worker = next(w for w in busy if w.sock is sock)
+                self._drain(worker, runner, record, fail, delayed)
+
+            now = time.monotonic()
+            for worker in busy:
+                if (worker.alive and worker.busy
+                        and worker.deadline is not None
+                        and now >= worker.deadline):
+                    self._expire(worker, runner, fail, delayed)
+
+    def _drain(self, worker: _RemoteWorker, runner, record, fail, delayed) -> None:
+        index, spec, attempt = worker.index, worker.spec, worker.attempt
+        try:
+            message = read_frame(worker.sock)
+        except (EOFError, FrameError, OSError):
+            # Worker death mid-job (SIGKILL, OOM, network partition):
+            # same accounting and retry path as a closed pipe.
+            runner.stats.worker_deaths += 1
+            self._drop(worker)
+            self._retry_or_fail(
+                runner, fail, delayed, index, spec, attempt,
+                error_type="WorkerDied",
+                message=f"remote worker {worker.wid} disconnected mid-job",
+                worker_died=True,
+            )
+            return
+        worker.clear()
+        worker.jobs_done += 1
+        kind = message[0]
+        if kind == "ok":
+            _, index, attempt, summary, elapsed = message
+            record(index, summary, elapsed, attempts=attempt)
+            return
+        _, index, attempt, error_type, text, tb, transient, elapsed = message
+        if transient and attempt <= runner.retries:
+            runner.stats.retries += 1
+            heapq.heappush(
+                delayed,
+                (time.monotonic() + runner._backoff(index, attempt),
+                 index, attempt + 1, spec),
+            )
+            return
+        fail(index, JobFailure(
+            spec=spec, error_type=error_type, message=text, traceback=tb,
+            attempts=attempt, transient=transient, elapsed=elapsed,
+        ))
+
+    def _expire(self, worker: _RemoteWorker, runner, fail, delayed) -> None:
+        """Deadline blown: closing the socket is the remote kill."""
+        index, spec, attempt = worker.index, worker.spec, worker.attempt
+        runner.stats.timeouts += 1
+        self._drop(worker)
+        self._retry_or_fail(
+            runner, fail, delayed, index, spec, attempt,
+            error_type="JobTimeout",
+            message=f"job exceeded {runner.timeout}s wall clock",
+            timed_out=True,
+        )
+
+    @staticmethod
+    def _retry_or_fail(runner, fail, delayed, index, spec, attempt,
+                       error_type, message, **flags) -> None:
+        if attempt <= runner.retries:
+            runner.stats.retries += 1
+            heapq.heappush(
+                delayed,
+                (time.monotonic() + runner._backoff(index, attempt),
+                 index, attempt + 1, spec),
+            )
+            return
+        fail(index, JobFailure(
+            spec=spec, error_type=error_type, message=message,
+            attempts=attempt, transient=True, **flags,
+        ))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            workers = list(self._workers.values())
+            self._workers.clear()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for worker in workers:
+            if not worker.busy:
+                try:
+                    write_frame(worker.sock, ("stop",))
+                except OSError:
+                    pass
+            try:
+                worker.sock.close()
+            except OSError:
+                pass
+        set_connected_workers(0)

@@ -1,0 +1,136 @@
+"""The pull side of the remote-worker protocol (``repro worker``).
+
+A worker dials the hub advertised by ``repro serve --worker-port``,
+introduces itself with a ``("hello", info)`` frame, then serves
+``("job", index, attempt, spec)`` frames until the hub closes the
+connection or sends ``("stop",)``.  Replies reuse the forked-pipe
+pool's exact tuple shapes (see :func:`repro.runner.batch._worker_loop`):
+``("ok", index, attempt, summary, elapsed)`` on success, and a
+pre-serialized ``("err", index, attempt, type, message, traceback,
+transient, elapsed)`` on failure — an unpicklable exception object can
+never poison the channel, and the hub applies the same retry policy to
+both backends.
+
+``REPRO_WORKER_DELAY`` (seconds, float) sleeps before each job.  It
+exists for the chaos suite: a worker that provably *holds* a job for a
+known window can be SIGKILL'd mid-job deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+import time
+import traceback as _traceback
+from typing import Optional, Tuple
+
+from repro.common.errors import ConfigurationError, is_transient
+from repro.service.framing import FrameError, read_frame, write_frame
+
+#: Sleep injected before each job execution (chaos/test hook).
+WORKER_DELAY_ENV = "REPRO_WORKER_DELAY"
+
+_DIAL_TIMEOUT = 10.0
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """``host:port`` → ``(host, port)``; host defaults to loopback."""
+    host, _, port = text.rpartition(":")
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise ConfigurationError(
+            f"worker address must look like host:port, got {text!r}"
+        ) from None
+
+
+def _serve(sock: socket.socket, delay: float, out) -> str:
+    """Pull jobs until the hub goes away; returns ``"stop"`` or ``"eof"``."""
+    while True:
+        try:
+            message = read_frame(sock)
+        except EOFError:
+            return "eof"
+        if not isinstance(message, tuple) or not message:
+            continue
+        if message[0] == "stop":
+            return "stop"
+        if message[0] != "job":
+            continue
+        _, index, attempt, spec = message
+        started = time.perf_counter()
+        try:
+            if delay:
+                time.sleep(delay)
+            summary = spec.execute(trace_store=None, replay=True)
+            payload = ("ok", index, attempt, summary,
+                       time.perf_counter() - started)
+        except Exception as exc:
+            payload = (
+                "err", index, attempt, type(exc).__name__, str(exc),
+                _traceback.format_exc(), is_transient(exc),
+                time.perf_counter() - started,
+            )
+        write_frame(sock, payload)
+        if out is not None:
+            status = payload[0]
+            out.write(f"[worker {os.getpid()}] job {index} "
+                      f"attempt {attempt}: {status}\n")
+            out.flush()
+
+
+def run_worker(
+    connect: str,
+    reconnect: bool = True,
+    retry_delay: float = 1.0,
+    max_retries: Optional[int] = None,
+    out=None,
+) -> int:
+    """Worker main loop; blocks until told to stop (exit code 0) or the
+    hub stays unreachable past the retry budget (exit code 1).
+
+    An EOF from the hub (server restart, network blip) reconnects with
+    linear backoff unless ``reconnect`` is off — mirroring the forked
+    pool, where a dead slot is respawned rather than fatal.
+    """
+    if out is None:
+        out = sys.stderr
+    host, port = parse_address(connect)
+    delay = float(os.environ.get(WORKER_DELAY_ENV) or 0.0)
+    dial_failures = 0
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=_DIAL_TIMEOUT)
+        except OSError as exc:
+            dial_failures += 1
+            if not reconnect or (max_retries is not None
+                                 and dial_failures > max_retries):
+                out.write(f"[worker {os.getpid()}] cannot reach "
+                          f"{host}:{port}: {exc}\n")
+                return 1
+            time.sleep(min(retry_delay * dial_failures, 10.0))
+            continue
+        dial_failures = 0
+        reason = "eof"
+        try:
+            sock.settimeout(None)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            from repro import __version__
+
+            write_frame(sock, ("hello", {
+                "pid": os.getpid(),
+                "host": socket.gethostname(),
+                "version": __version__,
+            }))
+            reason = _serve(sock, delay, out)
+        except (FrameError, OSError):
+            pass
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if reason == "stop" or not reconnect:
+            return 0
+        time.sleep(retry_delay)
